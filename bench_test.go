@@ -1,0 +1,225 @@
+package repro
+
+// One benchmark per paper artifact (see DESIGN.md §3 and EXPERIMENTS.md):
+// each regenerates the corresponding table/claim with fast options and
+// reports headline numbers as benchmark metrics, plus ablation benches for
+// the design choices the tuning algorithms make. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mathx/gp"
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/dbms"
+	"repro/internal/tune"
+	"repro/internal/tuners/experiment"
+	"repro/internal/tuners/ml"
+	"repro/internal/workload"
+)
+
+func benchOpts(i int) bench.Options {
+	return bench.Options{Seed: int64(42 + i), Budget: 12, Fast: true}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(name, benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMotivation regenerates E1 (§1): misconfiguration degradation and
+// tuning headroom.
+func BenchmarkMotivation(b *testing.B) { runExperiment(b, "motivation") }
+
+// BenchmarkTable1 regenerates E2: the six-category comparison of Table 1.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates E3: the eleven DBMS approaches of Table 2.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkHadoopGap regenerates E4 (§2.3): the 3.1–6.5× parallel-DB gap.
+func BenchmarkHadoopGap(b *testing.B) { runExperiment(b, "hadoopgap") }
+
+// BenchmarkSparkParams regenerates E5 (§2.4): ~30 of ~200 Spark parameters.
+func BenchmarkSparkParams(b *testing.B) { runExperiment(b, "sparkparams") }
+
+// BenchmarkHeterogeneity regenerates E6 (§2.5-1): transfer across hardware.
+func BenchmarkHeterogeneity(b *testing.B) { runExperiment(b, "heterogeneity") }
+
+// BenchmarkCloud regenerates E7 (§2.5-2): multi-tenant noise + provisioning.
+func BenchmarkCloud(b *testing.B) { runExperiment(b, "cloud") }
+
+// BenchmarkRealtime regenerates E8 (§2.5-3): streaming latency, static vs
+// adaptive.
+func BenchmarkRealtime(b *testing.B) { runExperiment(b, "realtime") }
+
+// ---------------------------------------------------------------------------
+// Ablations: design choices DESIGN.md calls out, measured.
+
+func ablationTarget(seed int64) *dbms.DBMS {
+	return dbms.New(cluster.CommodityNode(), workload.TPCHLike(2), seed)
+}
+
+// BenchmarkAblationAcquisition compares iTuned's EI-driven planning against
+// pure random search at equal budget: the value of the GP.
+func BenchmarkAblationAcquisition(b *testing.B) {
+	for _, planned := range []bool{true, false} {
+		name := "random"
+		if planned {
+			name = "gp-ei"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				target := ablationTarget(int64(100 + i))
+				var tn tune.Tuner
+				if planned {
+					tn = experiment.NewITuned(int64(i))
+				} else {
+					tn = &experiment.Random{Seed: int64(i)}
+				}
+				r, err := tn.Tune(context.Background(), target, tune.Budget{Trials: 15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.BestResult.Time
+			}
+			b.ReportMetric(total/float64(b.N), "best-runtime-s")
+		})
+	}
+}
+
+// BenchmarkAblationInitDesign compares LHS initialization against uniform
+// random initialization inside iTuned.
+func BenchmarkAblationInitDesign(b *testing.B) {
+	for _, lhs := range []bool{true, false} {
+		name := "uniform-init"
+		if lhs {
+			name = "lhs-init"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				target := ablationTarget(int64(200 + i))
+				it := experiment.NewITuned(int64(i))
+				if !lhs {
+					it.InitLHS = 1 // degenerate design ≈ no space-filling phase
+				}
+				r, err := it.Tune(context.Background(), target, tune.Budget{Trials: 15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.BestResult.Time
+			}
+			b.ReportMetric(total/float64(b.N), "best-runtime-s")
+		})
+	}
+}
+
+// BenchmarkAblationWorkloadMapping compares OtterTune with and without a
+// repository: the value of transfer.
+func BenchmarkAblationWorkloadMapping(b *testing.B) {
+	repo := bench.BuildDBMSRepository(bench.Options{Seed: 1, Fast: true}, "tpch")
+	for _, withRepo := range []bool{true, false} {
+		name := "cold"
+		if withRepo {
+			name = "with-repo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				target := ablationTarget(int64(300 + i))
+				var r *tune.Repository
+				if withRepo {
+					r = repo
+				}
+				ot := ml.NewOtterTune(int64(i), r)
+				res, err := ot.Tune(context.Background(), target, tune.Budget{Trials: 15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.BestResult.Time
+			}
+			b.ReportMetric(total/float64(b.N), "best-runtime-s")
+		})
+	}
+}
+
+// BenchmarkAblationGPKernel compares the Matérn 5/2 kernel against the
+// squared exponential on the DBMS surface (cliffs favor rougher priors).
+func BenchmarkAblationGPKernel(b *testing.B) {
+	for _, kernel := range []gp.KernelKind{gp.Matern52, gp.SquaredExponential} {
+		name := "matern52"
+		if kernel == gp.SquaredExponential {
+			name = "sqexp"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				target := ablationTarget(int64(400 + i))
+				it := experiment.NewITuned(int64(i))
+				it.Kernel = kernel
+				r, err := it.Tune(context.Background(), target, tune.Budget{Trials: 15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.BestResult.Time
+			}
+			b.ReportMetric(total/float64(b.N), "best-runtime-s")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (runs/sec), the
+// practical budget ceiling for every experiment in this repository.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	targets := map[string]tune.Target{
+		"dbms":   ablationTarget(1),
+		"hadoop": bench.HadoopTarget(workload.TeraSort(4), 2),
+		"spark":  bench.SparkTarget(workload.PageRank(1, 4), 3),
+	}
+	for name, target := range targets {
+		b.Run(name, func(b *testing.B) {
+			cfg := target.Space().Default()
+			for i := 0; i < b.N; i++ {
+				_ = target.Run(cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkGPFit measures Gaussian-process fitting cost versus training size
+// — the per-iteration overhead of model-guided tuning.
+func BenchmarkGPFit(b *testing.B) {
+	for _, n := range []int{20, 60} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			target := ablationTarget(5)
+			space := target.Space()
+			var xs [][]float64
+			var ys []float64
+			rnd := space.Default()
+			for i := 0; i < n; i++ {
+				rnd = space.Perturb(rnd, 0.3, randFor(int64(i)))
+				xs = append(xs, rnd.Vector())
+				ys = append(ys, target.Run(rnd).Time)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := gp.New(gp.Matern52)
+				if err := g.Fit(xs, ys, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

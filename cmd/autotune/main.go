@@ -1,0 +1,95 @@
+// Command autotune tunes a simulated system with a chosen approach and
+// prints the recommended configuration, the tuning curve, and the cost.
+//
+// Usage:
+//
+//	autotune -system dbms -workload tpch -tuner ituned -trials 30
+//	autotune -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	repro "repro"
+	"repro/internal/tune"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "dbms", "system to tune (dbms, hadoop, spark, paralleldb)")
+		wl        = flag.String("workload", "tpch", "workload name (see -list)")
+		tuner     = flag.String("tuner", "ituned", "tuning approach (see -list)")
+		trials    = flag.Int("trials", 30, "trial budget (real runs)")
+		seed      = flag.Int64("seed", 42, "random seed")
+		scale     = flag.Float64("scale", 0, "input scale in GB (0 = default)")
+		nodes     = flag.Int("nodes", 16, "cluster size for distributed systems")
+		hetero    = flag.Bool("hetero", false, "use a heterogeneous cluster")
+		tenants   = flag.Float64("tenants", 0, "multi-tenant background load (0..0.9)")
+		list      = flag.Bool("list", false, "list systems, workloads and tuners")
+		showCurve = flag.Bool("curve", false, "print the best-so-far tuning curve")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("systems and workloads:")
+		for _, s := range repro.Systems() {
+			fmt.Printf("  %-10s %v\n", s, repro.Workloads(s))
+		}
+		fmt.Println("tuners:")
+		for _, name := range repro.Tuners() {
+			cat, doc, _ := repro.TunerInfo(name)
+			fmt.Printf("  %-18s [%s] %s\n", name, cat, doc)
+		}
+		return
+	}
+
+	target, err := repro.NewTarget(*system, *wl, *seed, repro.TargetOptions{
+		ScaleGB: *scale, Nodes: *nodes, Heterogeneous: *hetero, TenantLoad: *tenants,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	def := target.Space().Default()
+	defRes := target.Run(def)
+	fmt.Printf("target %s: default configuration runs in %.1fs\n", target.Name(), defRes.Time)
+
+	tn, err := repro.NewTuner(*tuner, repro.TunerOptions{Seed: *seed, TargetName: target.Name()})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tn.Tune(context.Background(), target, tune.Budget{Trials: *trials})
+	if err != nil {
+		fatal(err)
+	}
+
+	best := res.BestResult
+	if len(res.Trials) == 0 {
+		best = target.Run(res.Best)
+		fmt.Printf("%s recommended without running; verification run: %.1fs\n", tn.Name(), best.Time)
+	} else {
+		fmt.Printf("%s: best %.1fs after %d runs (%.1fs simulated tuning time)\n",
+			tn.Name(), best.Time, len(res.Trials), res.SimTimeUsed)
+	}
+	if best.Time > 0 {
+		fmt.Printf("speedup over default: %.2fx\n", defRes.Time/best.Time)
+	}
+	fmt.Println("recommended configuration:")
+	m := res.Best.Map()
+	for _, p := range target.Space().Params() {
+		fmt.Printf("  %-40s %s\n", p.Name, m[p.Name])
+	}
+	if *showCurve {
+		fmt.Println("tuning curve (best objective after each trial):")
+		for i, v := range res.Curve() {
+			fmt.Printf("  %3d %.1f\n", i+1, v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotune:", err)
+	os.Exit(1)
+}

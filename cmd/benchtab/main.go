@@ -1,0 +1,66 @@
+// Command benchtab regenerates the paper's tables and quantitative claims.
+//
+// Usage:
+//
+//	benchtab -exp table1            # one experiment
+//	benchtab -exp all               # everything (minutes)
+//	benchtab -exp table2 -csv out.csv
+//	benchtab -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		seed   = flag.Int64("seed", 42, "random seed")
+		budget = flag.Int("budget", 30, "per-tuner trial budget")
+		fast   = flag.Bool("fast", false, "shrink workloads for a quick pass")
+		csvOut = flag.String("csv", "", "also write the table as CSV to this file")
+		list   = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-14s %-26s %s\n", e.Name, "("+e.Paper+")", e.Doc)
+		}
+		return
+	}
+
+	o := bench.Options{Seed: *seed, Budget: *budget, Fast: *fast}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = names[:0]
+		for _, e := range bench.Experiments() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		tb, err := bench.Run(name, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		tb.Render(os.Stdout)
+		fmt.Println()
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+			}
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer", "v")
+	tb.Note("footnote %d", 7)
+	var out bytes.Buffer
+	tb.Render(&out)
+	s := out.String()
+	for _, want := range []string{"=== demo ===", "longer", "footnote 7", "1.50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q in:\n%s", want, s)
+		}
+	}
+	var csvOut bytes.Buffer
+	if err := tb.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvOut.String(), "a,bb\n") {
+		t.Errorf("csv = %q", csvOut.String())
+	}
+}
+
+func TestRegistryListsAllExperiments(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 8 {
+		t.Fatalf("expected 8 experiments, got %d", len(exps))
+	}
+	names := map[string]bool{}
+	for _, e := range exps {
+		names[e.Name] = true
+		if e.Doc == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime"} {
+		if !names[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func fastOpts() Options { return Options{Seed: 1, Budget: 8, Fast: true} }
+
+func TestMotivationFast(t *testing.T) {
+	tb := Motivation(fastOpts())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestHadoopGapFast(t *testing.T) {
+	tb := HadoopGap(fastOpts())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Errorf("gap column malformed: %v", row)
+		}
+	}
+}
+
+func TestRealtimeFast(t *testing.T) {
+	tb := Realtime(fastOpts())
+	if len(tb.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestTable2Fast(t *testing.T) {
+	tb := Table2(fastOpts())
+	if len(tb.Rows) != 11 {
+		t.Fatalf("Table 2 must have 11 approach rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if strings.Contains(row[4], "error") {
+			t.Errorf("approach %s errored: %s", row[1], row[4])
+		}
+	}
+}
+
+func TestTable1Fast(t *testing.T) {
+	tb := Table1(fastOpts())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Table 1 must have 6 category rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[2:] {
+			if cell == "err" {
+				t.Errorf("category %s has error cell: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestRepositoriesBuild(t *testing.T) {
+	o := fastOpts()
+	if repo := BuildDBMSRepository(o, "tpch"); len(repo.Sessions) == 0 {
+		t.Error("dbms repo empty")
+	}
+	if repo := BuildHadoopRepository(o, ""); len(repo.Sessions) != 6 {
+		t.Errorf("hadoop repo sessions = %d, want 6", len(repo.Sessions))
+	}
+	repo := BuildDBMSRepository(o, "oltp")
+	for _, s := range repo.Sessions {
+		if strings.HasPrefix(s.Workload, "oltp") {
+			t.Error("excluded workload present in repo")
+		}
+	}
+}
+
+func TestReferenceBeatsDefault(t *testing.T) {
+	target := DBMSTarget(wlTPCH(2), 3)
+	def := DefaultTime(target, 2)
+	_, best := Reference(target, 3, 25)
+	if best >= def {
+		t.Errorf("reference %v should beat default %v", best, def)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtSeconds(30) != "30.0s" || fmtSeconds(90) != "1.5m" || fmtSeconds(7200) != "2.0h" {
+		t.Error("fmtSeconds wrong")
+	}
+	if fmtSpeedup(2) != "2.00x" {
+		t.Error("fmtSpeedup wrong")
+	}
+	if speedup(10, 5) != 2 {
+		t.Error("speedup wrong")
+	}
+}
+
+func wlTPCH(gb float64) *workload.DBWorkload { return workload.TPCHLike(gb) }

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/mathx/stat"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+// Motivation regenerates the paper's §1 motivating claims: improper
+// parameter settings cause severe degradation and instability, while tuning
+// buys improvements "sometimes measured in orders of magnitude". For each
+// system we sample random configurations and compare their runtime
+// distribution against the shipped default and a tuned configuration.
+func Motivation(o Options) *Table {
+	t := &Table{
+		Title: "E1 (§1): cost of misconfiguration and value of tuning",
+		Columns: []string{
+			"system", "default", "random median", "random p95", "crash %",
+			"worst/best", "tuned", "tuned speedup",
+		},
+	}
+	samples := 300
+	if o.Fast {
+		samples = 60
+	}
+	run := func(name string, target tune.Target) {
+		rng := rand.New(rand.NewSource(o.Seed + 11))
+		def := DefaultTime(target, 3)
+		var times []float64
+		fails := 0
+		for i := 0; i < samples; i++ {
+			res := target.Run(target.Space().Random(rng))
+			if res.Failed {
+				fails++
+			}
+			times = append(times, res.Time)
+		}
+		_, bestTime := Reference(target, o.Seed, referenceBudget(o))
+		worst := stat.Max(times)
+		best := stat.Min(times)
+		t.AddRow(
+			name,
+			fmtSeconds(def),
+			fmtSeconds(stat.Quantile(times, 0.5)),
+			fmtSeconds(stat.Quantile(times, 0.95)),
+			float64(fails)/float64(samples)*100,
+			speedup(worst, best),
+			fmtSeconds(bestTime),
+			fmtSpeedup(speedup(def, bestTime)),
+		)
+	}
+
+	run("dbms/tpch", DBMSTarget(workload.TPCHLike(o.scaleGB(10, 2)), o.Seed+1))
+	run("dbms/oltp", DBMSTarget(workload.OLTP(64, o.scaleGB(4, 1)), o.Seed+2))
+	run("hadoop/terasort", HadoopTarget(workload.TeraSort(o.scaleGB(50, 4)), o.Seed+3))
+	run("spark/pagerank", SparkTarget(workload.PageRank(o.scaleGB(5, 1), pagerankIters(o)), o.Seed+4))
+
+	t.Note("%d random configurations per system; crash %% = failed runs (OOM, placement)", samples)
+	t.Note("worst/best spans the random sample: the 'orders of magnitude' the paper cites")
+	return t
+}
+
+func pagerankIters(o Options) int {
+	if o.Fast {
+		return 4
+	}
+	return 8
+}
+
+func referenceBudget(o Options) int {
+	if o.Fast {
+		return 25
+	}
+	return 120
+}

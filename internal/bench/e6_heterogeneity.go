@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/tune"
+	"repro/internal/tuners/costmodel"
+	"repro/internal/tuners/experiment"
+	"repro/internal/tuners/rulebased"
+	"repro/internal/workload"
+)
+
+// Heterogeneity probes the paper's first open challenge (§2.5): tuning over
+// heterogeneous hardware. Each approach tunes on a homogeneous cluster; the
+// resulting configuration is then transplanted onto a heterogeneous fleet of
+// equal aggregate capacity and compared with tuning directly on that fleet.
+// Cost models suffer most — their homogeneity assumption is baked in — which
+// is exactly the weakness Table 1 lists.
+func Heterogeneity(o Options) *Table {
+	t := &Table{
+		Title: "E6 (§2.5-1): configuration transfer homogeneous → heterogeneous",
+		Columns: []string{
+			"approach", "homog tuned", "transplanted", "transfer loss",
+			"retuned on hetero", "recovered",
+		},
+	}
+	ctx := context.Background()
+	gb := o.scaleGB(40, 4)
+	b := o.budget()
+	homog := cluster.Commodity(16)
+	hetero := cluster.Heterogeneous(16)
+
+	heteroDef := DefaultTime(HadoopTargetOn(hetero, workload.TeraSort(gb), o.Seed+71), 3)
+
+	type approach struct {
+		name  string
+		tuner func(seed int64) tune.Tuner
+	}
+	approaches := []approach{
+		{"rules", func(int64) tune.Tuner { return rulebased.NewTuner(rulebased.HadoopRules()) }},
+		{"costmodel/starfish", func(seed int64) tune.Tuner { return costmodel.NewStarfish(seed) }},
+		{"experiment/ituned", func(seed int64) tune.Tuner { return experiment.NewITuned(seed) }},
+	}
+	for i, a := range approaches {
+		seed := o.Seed + int64(i+1)*101
+		homogTarget := HadoopTargetOn(homog, workload.TeraSort(gb), seed+1)
+		r, err := a.tuner(seed).Tune(ctx, homogTarget, b)
+		if err != nil {
+			t.AddRow(a.name, "err", "-", "-", "-", "-")
+			continue
+		}
+		homogTime := r.BestResult.Time
+		if len(r.Trials) == 0 {
+			homogTime = homogTarget.Run(r.Best).Time
+		}
+
+		// Transplant the configuration onto the heterogeneous fleet.
+		heteroTarget := HadoopTargetOn(hetero, workload.TeraSort(gb), seed+2)
+		transplanted := averageRun(heteroTarget, r.Best, 3)
+
+		// Retune natively on the heterogeneous fleet.
+		retuneTarget := HadoopTargetOn(hetero, workload.TeraSort(gb), seed+3)
+		r2, err := a.tuner(seed+4).Tune(ctx, retuneTarget, b)
+		if err != nil {
+			t.AddRow(a.name, fmtSeconds(homogTime), fmtSeconds(transplanted), "-", "err", "-")
+			continue
+		}
+		retuned := r2.BestResult.Time
+		if len(r2.Trials) == 0 {
+			retuned = retuneTarget.Run(r2.Best).Time
+		}
+
+		t.AddRow(a.name,
+			fmtSeconds(homogTime),
+			fmtSeconds(transplanted),
+			fmt.Sprintf("%+.0f%%", (transplanted/homogTime-1)*100),
+			fmtSeconds(retuned),
+			fmtSpeedup(speedup(transplanted, retuned)),
+		)
+	}
+	t.Note("hetero default: %s; clusters have equal node count (16), mixed beefy/commodity/wimpy", fmtSeconds(heteroDef))
+	t.Note("wave scheduling is paced by the weakest node; models assuming the first node's spec mispredict")
+	return t
+}
+
+func averageRun(target tune.Target, cfg tune.Config, runs int) float64 {
+	var s float64
+	for i := 0; i < runs; i++ {
+		s += target.Run(cfg).Time
+	}
+	return s / float64(runs)
+}

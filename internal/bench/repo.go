@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/tune"
+	"repro/internal/tuners/experiment"
+	"repro/internal/workload"
+)
+
+// BuildDBMSRepository synthesizes a tuning repository from past sessions over
+// DBMS workloads other than the one about to be tuned — the corpus
+// OtterTune-style transfer requires. Each past workload contributes one
+// exploratory session (random) and one guided session (iTuned).
+func BuildDBMSRepository(o Options, exclude string) *tune.Repository {
+	repo := &tune.Repository{}
+	past := []*workload.DBWorkload{
+		workload.TPCHLike(o.scaleGB(10, 2)),
+		workload.OLTP(64, o.scaleGB(4, 1)),
+		workload.MixedDB(o.scaleGB(6, 1.5)),
+	}
+	trials := 20
+	if o.Fast {
+		trials = 8
+	}
+	for i, wl := range past {
+		if wl.Name == exclude {
+			continue
+		}
+		target := DBMSTarget(wl, o.Seed+int64(100+i))
+		addSession(repo, target, "dbms", wl.Name, o.Seed+int64(10*i), trials)
+	}
+	return repo
+}
+
+// BuildSparkRepository is the Spark analogue of BuildDBMSRepository.
+func BuildSparkRepository(o Options, exclude string) *tune.Repository {
+	repo := &tune.Repository{}
+	past := []*workload.SparkJob{
+		workload.WordCountSpark(o.scaleGB(20, 2)),
+		workload.TeraSortSpark(o.scaleGB(20, 2)),
+		workload.PageRank(o.scaleGB(5, 1), 8),
+		workload.KMeansSpark(o.scaleGB(8, 1), 10),
+	}
+	trials := 20
+	if o.Fast {
+		trials = 8
+	}
+	for i, job := range past {
+		if job.Name == exclude {
+			continue
+		}
+		target := SparkTarget(job, o.Seed+int64(200+i))
+		addSession(repo, target, "spark", job.Name, o.Seed+int64(20*i), trials)
+	}
+	return repo
+}
+
+// BuildHadoopRepository is the Hadoop analogue of BuildDBMSRepository.
+func BuildHadoopRepository(o Options, exclude string) *tune.Repository {
+	repo := &tune.Repository{}
+	past := []*workload.MRJob{
+		workload.WordCount(o.scaleGB(30, 3)),
+		workload.TeraSort(o.scaleGB(30, 3)),
+		workload.Aggregation(o.scaleGB(20, 2)),
+	}
+	trials := 20
+	if o.Fast {
+		trials = 8
+	}
+	for i, job := range past {
+		if job.Name == exclude {
+			continue
+		}
+		target := HadoopTarget(job, o.Seed+int64(300+i))
+		addSession(repo, target, "hadoop", job.Name, o.Seed+int64(30*i), trials)
+	}
+	return repo
+}
+
+func addSession(repo *tune.Repository, target tune.Target, system, name string, seed int64, trials int) {
+	ctx := context.Background()
+	var features map[string]float64
+	if d, ok := target.(tune.Describer); ok {
+		features = d.WorkloadFeatures()
+	}
+	it := experiment.NewITuned(seed + 1)
+	r, err := it.Tune(ctx, target, tune.Budget{Trials: trials})
+	if err != nil {
+		panic(fmt.Sprintf("bench: repository session failed: %v", err))
+	}
+	repo.AddResult(system, name, features, r)
+	rd := &experiment.Random{Seed: seed + 2}
+	r2, err := rd.Tune(ctx, target, tune.Budget{Trials: trials / 2})
+	if err != nil {
+		panic(fmt.Sprintf("bench: repository session failed: %v", err))
+	}
+	repo.AddResult(system, name+"/explore", features, r2)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/dbms"
+	"repro/internal/sysmodel/mapreduce"
+	"repro/internal/sysmodel/spark"
+	"repro/internal/tune"
+	"repro/internal/tuners/experiment"
+	"repro/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives every random stream in the experiment.
+	Seed int64
+	// Budget is the per-tuner trial budget (default 30).
+	Budget int
+	// Fast shrinks workloads and budgets for test-suite runs.
+	Fast bool
+}
+
+func (o Options) budget() tune.Budget {
+	b := o.Budget
+	if b <= 0 {
+		b = 30
+	}
+	if o.Fast && b > 12 {
+		b = 12
+	}
+	return tune.Budget{Trials: b}
+}
+
+// scaleGB returns full unless Fast, then small.
+func (o Options) scaleGB(full, small float64) float64 {
+	if o.Fast {
+		return small
+	}
+	return full
+}
+
+// Standard deployments shared by the experiments.
+
+// DBMSTarget returns the standard single-node DBMS running wl.
+func DBMSTarget(wl *workload.DBWorkload, seed int64) *dbms.DBMS {
+	return dbms.New(cluster.CommodityNode(), wl, seed)
+}
+
+// HadoopTarget returns the standard 16-node Hadoop cluster running job.
+func HadoopTarget(job *workload.MRJob, seed int64) *mapreduce.Hadoop {
+	return mapreduce.New(cluster.Commodity(16), job, seed)
+}
+
+// SparkTarget returns the standard 16-node Spark cluster running job.
+func SparkTarget(job *workload.SparkJob, seed int64) *spark.Spark {
+	return spark.New(cluster.Commodity(16), job, seed)
+}
+
+// Reference finds a best-known configuration for target by spending a
+// generous search budget (iTuned plus random), returning its runtime. It is
+// the denominator for "trials to within 10% of best-known" measurements.
+func Reference(target tune.Target, seed int64, budget int) (tune.Config, float64) {
+	if budget <= 0 {
+		budget = 120
+	}
+	ctx := context.Background()
+	it := experiment.NewITuned(seed + 1000)
+	r1, err := it.Tune(ctx, target, tune.Budget{Trials: budget * 2 / 3})
+	if err != nil {
+		panic(fmt.Sprintf("bench: reference search failed: %v", err))
+	}
+	rd := &experiment.Random{Seed: seed + 2000}
+	r2, err := rd.Tune(ctx, target, tune.Budget{Trials: budget / 3})
+	if err != nil {
+		panic(fmt.Sprintf("bench: reference search failed: %v", err))
+	}
+	if r2.BestResult.Objective() < r1.BestResult.Objective() {
+		return r2.Best, r2.BestResult.Time
+	}
+	return r1.Best, r1.BestResult.Time
+}
+
+// DefaultTime measures the target's default configuration, averaged over a
+// few runs to damp noise.
+func DefaultTime(target tune.Target, runs int) float64 {
+	if runs <= 0 {
+		runs = 3
+	}
+	def := target.Space().Default()
+	var s float64
+	n := 0
+	for i := 0; i < runs; i++ {
+		r := target.Run(def)
+		s += r.Time
+		n++
+	}
+	return s / float64(n)
+}
+
+// speedup guards against division blowups for failed or zero baselines.
+func speedup(base, tuned float64) float64 {
+	if tuned <= 0 {
+		return math.Inf(1)
+	}
+	return base / tuned
+}
+
+// fmtSpeedup renders a speedup as "3.4x".
+func fmtSpeedup(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// fmtSeconds renders seconds compactly.
+func fmtSeconds(v float64) string {
+	switch {
+	case v >= 3600:
+		return fmt.Sprintf("%.1fh", v/3600)
+	case v >= 60:
+		return fmt.Sprintf("%.1fm", v/60)
+	default:
+		return fmt.Sprintf("%.1fs", v)
+	}
+}

@@ -1,0 +1,163 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that a Cholesky factorization failed.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L·Lᵀ.
+type Cholesky struct {
+	L *Matrix
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read. If factorization fails (a is not positive
+// definite within floating point), it returns ErrNotPositiveDefinite; Gaussian
+// process code responds by increasing the jitter on the diagonal.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.R != a.C {
+		return nil, errors.New("linalg: cholesky of non-square matrix")
+	}
+	n := a.R
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// SolveVec solves A·x = b given the factorization.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.forward(b)
+	return c.backward(y)
+}
+
+// forward solves L·y = b.
+func (c *Cholesky) forward(b []float64) []float64 {
+	n := c.L.R
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	return y
+}
+
+// backward solves Lᵀ·x = y.
+func (c *Cholesky) backward(y []float64) []float64 {
+	n := c.L.R
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.R; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// CholeskyWithJitter factors a, adding exponentially growing jitter to the
+// diagonal until the factorization succeeds (up to maxTries). It returns the
+// factorization and the jitter that was needed.
+func CholeskyWithJitter(a *Matrix, jitter float64, maxTries int) (*Cholesky, float64, error) {
+	cur := a.Clone()
+	added := 0.0
+	for try := 0; try < maxTries; try++ {
+		ch, err := NewCholesky(cur)
+		if err == nil {
+			return ch, added, nil
+		}
+		step := jitter * math.Pow(10, float64(try))
+		cur.AddDiag(step)
+		added += step
+	}
+	return nil, added, ErrNotPositiveDefinite
+}
+
+// SolveRidge solves the ridge-regularized least squares problem
+// (XᵀX + λI)·β = Xᵀy and returns β. λ must be ≥ 0; with λ = 0 the system may
+// be singular, in which case a tiny jitter is applied automatically.
+func SolveRidge(x *Matrix, y []float64, lambda float64) ([]float64, error) {
+	xt := x.T()
+	a := xt.Mul(x).AddDiag(lambda)
+	b := xt.MulVec(y)
+	ch, _, err := CholeskyWithJitter(a, 1e-10, 10)
+	if err != nil {
+		return nil, err
+	}
+	return ch.SolveVec(b), nil
+}
+
+// SolveNNLS solves min ‖X·β − y‖ subject to β ≥ 0 using projected
+// coordinate descent. Ernest-style scale-out models require non-negative
+// coefficients so each cost term contributes physically plausible time.
+func SolveNNLS(x *Matrix, y []float64, iters int) []float64 {
+	n, d := x.R, x.C
+	beta := make([]float64, d)
+	// Precompute column norms and Xᵀy.
+	colSq := make([]float64, d)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			v := x.At(i, j)
+			colSq[j] += v * v
+		}
+	}
+	resid := make([]float64, n)
+	copy(resid, y)
+	for it := 0; it < iters; it++ {
+		for j := 0; j < d; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// Partial residual including current beta_j contribution.
+			var g float64
+			for i := 0; i < n; i++ {
+				g += x.At(i, j) * resid[i]
+			}
+			nb := beta[j] + g/colSq[j]
+			if nb < 0 {
+				nb = 0
+			}
+			delta := nb - beta[j]
+			if delta != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= delta * x.At(i, j)
+				}
+				beta[j] = nb
+			}
+		}
+	}
+	return beta
+}

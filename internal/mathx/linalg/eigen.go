@@ -1,0 +1,78 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order with the
+// corresponding eigenvectors as columns of V (V.At(i, k) is component i of
+// eigenvector k). PCA for OtterTune's metric dimensionality reduction builds
+// on this.
+func SymEigen(a *Matrix, sweeps int) (vals []float64, vecs *Matrix) {
+	n := a.R
+	m := a.Clone()
+	v := Identity(n)
+	if sweeps <= 0 {
+		sweeps = 50
+	}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{m.At(i, i), i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	vals = make([]float64, n)
+	vecs = New(n, n)
+	for k, p := range pairs {
+		vals[k] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, p.idx))
+		}
+	}
+	return vals, vecs
+}

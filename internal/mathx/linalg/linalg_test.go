@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	mt := m.T()
+	if mt.At(0, 1) != 3 {
+		t.Errorf("T().At(0,1) = %v", mt.At(0, 1))
+	}
+	prod := m.Mul(Identity(2))
+	for i := range prod.Data {
+		if prod.Data[i] != m.Data[i] {
+			t.Fatal("M·I != M")
+		}
+	}
+	v := m.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v", v)
+	}
+	clone := m.Clone()
+	clone.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	FromRows([][]float64{{1, 2}}).Mul(FromRows([][]float64{{1, 2}}))
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {1}})
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ch.L.At(0, 0), 2, 1e-12) || !almostEq(ch.L.At(1, 0), 1, 1e-12) ||
+		!almostEq(ch.L.At(1, 1), math.Sqrt(2), 1e-12) {
+		t.Errorf("L = %+v", ch.L)
+	}
+	// Solve A x = b with known solution.
+	x := ch.SolveVec([]float64{10, 8})
+	// 4x+2y=10, 2x+3y=8 → x=7/4, y=3/2.
+	if !almostEq(x[0], 1.75, 1e-9) || !almostEq(x[1], 1.5, 1e-9) {
+		t.Errorf("solve = %v", x)
+	}
+	// log|A| = log(4·3−4) = log 8.
+	if !almostEq(ch.LogDet(), math.Log(8), 1e-9) {
+		t.Errorf("LogDet = %v, want %v", ch.LogDet(), math.Log(8))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := NewCholesky(a); err == nil {
+		t.Error("expected failure for indefinite matrix")
+	}
+	if _, err := NewCholesky(FromRows([][]float64{{1, 2, 3}})); err == nil {
+		t.Error("expected failure for non-square matrix")
+	}
+}
+
+// Property: for random SPD matrices A = BᵀB + I, the Cholesky factor
+// reconstructs A.
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed + rng.Int63()))
+		n := 2 + r.Intn(5)
+		b := New(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := b.T().Mul(b).AddDiag(1)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		recon := ch.L.Mul(ch.L.T())
+		for i := range a.Data {
+			if !almostEq(a.Data[i], recon.Data[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCholeskyWithJitterRecovers(t *testing.T) {
+	// Singular matrix: jitter should make it factorizable.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	ch, added, err := CholeskyWithJitter(a, 1e-10, 12)
+	if err != nil {
+		t.Fatalf("jitter failed: %v", err)
+	}
+	if added <= 0 || ch == nil {
+		t.Error("expected positive jitter")
+	}
+}
+
+func TestSolveRidgeRecoversLinear(t *testing.T) {
+	// y = 2a − 3b, overdetermined.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 50)
+	y := make([]float64, 50)
+	for i := range rows {
+		a, b := rng.Float64(), rng.Float64()
+		rows[i] = []float64{a, b}
+		y[i] = 2*a - 3*b
+	}
+	beta, err := SolveRidge(FromRows(rows), y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(beta[0], 2, 1e-3) || !almostEq(beta[1], -3, 1e-3) {
+		t.Errorf("beta = %v", beta)
+	}
+}
+
+func TestSolveNNLSNonNegative(t *testing.T) {
+	// y = 5a + 0·b with b anti-correlated: the unconstrained solution would
+	// push b negative; NNLS must clamp it.
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 60)
+	y := make([]float64, 60)
+	for i := range rows {
+		a := rng.Float64()
+		rows[i] = []float64{a, -a + 0.05*rng.Float64()}
+		y[i] = 5 * a
+	}
+	beta := SolveNNLS(FromRows(rows), y, 400)
+	for j, b := range beta {
+		if b < 0 {
+			t.Errorf("beta[%d] = %v < 0", j, b)
+		}
+	}
+	if !almostEq(beta[0], 5, 0.5) {
+		t.Errorf("beta[0] = %v, want ≈5", beta[0])
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,−1)/√2.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs := SymEigen(a, 50)
+	if !almostEq(vals[0], 3, 1e-9) || !almostEq(vals[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+	// First eigenvector parallel to (1,1).
+	ratio := vecs.At(0, 0) / vecs.At(1, 0)
+	if !almostEq(ratio, 1, 1e-6) {
+		t.Errorf("first eigenvector = (%v, %v)", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Error("norm wrong")
+	}
+}

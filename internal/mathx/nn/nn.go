@@ -1,0 +1,204 @@
+// Package nn implements a small fully-connected neural network trained with
+// Adam, used as the performance surrogate in the Rodd-style neural tuning
+// reproduction.
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a feed-forward network with tanh hidden layers and a linear output.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // per layer, (in+1)×out flattened, last row is bias
+	// Adam state
+	m, v [][]float64
+	t    int
+	rng  *rand.Rand
+
+	xMean, xStd []float64
+	yMean, yStd float64
+}
+
+// NewMLP builds a network with the given layer sizes, e.g. NewMLP(rng, 8,
+// 16, 16, 1) for 8 inputs, two hidden layers of 16, one output.
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output layer sizes")
+	}
+	n := &MLP{sizes: sizes, rng: rng}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, (in+1)*out)
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		n.weights = append(n.weights, w)
+		n.m = append(n.m, make([]float64, len(w)))
+		n.v = append(n.v, make([]float64, len(w)))
+	}
+	return n
+}
+
+// forward computes activations per layer; acts[0] is the (standardized)
+// input, acts[last] the linear output.
+func (n *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(n.sizes))
+	acts[0] = x
+	for l := 0; l < len(n.weights); l++ {
+		in, out := n.sizes[l], n.sizes[l+1]
+		w := n.weights[l]
+		a := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := w[in*out+o] // bias row
+			for i := 0; i < in; i++ {
+				s += acts[l][i] * w[i*out+o]
+			}
+			if l < len(n.weights)-1 {
+				s = math.Tanh(s)
+			}
+			a[o] = s
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// Train fits the network to (x, y) for the given epochs with minibatch
+// size 16 and Adam. Inputs and outputs are standardized internally.
+func (n *MLP) Train(x [][]float64, y []float64, epochs int, lr float64) {
+	if len(x) == 0 {
+		return
+	}
+	d := len(x[0])
+	n.xMean, n.xStd = make([]float64, d), make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := range x {
+			s += x[i][j]
+		}
+		n.xMean[j] = s / float64(len(x))
+		var v float64
+		for i := range x {
+			dv := x[i][j] - n.xMean[j]
+			v += dv * dv
+		}
+		n.xStd[j] = math.Sqrt(v / float64(len(x)))
+		if n.xStd[j] < 1e-9 {
+			n.xStd[j] = 1
+		}
+	}
+	var sy, syy float64
+	for _, v := range y {
+		sy += v
+	}
+	n.yMean = sy / float64(len(y))
+	for _, v := range y {
+		d := v - n.yMean
+		syy += d * d
+	}
+	n.yStd = math.Sqrt(syy / float64(len(y)))
+	if n.yStd < 1e-9 {
+		n.yStd = 1
+	}
+
+	xs := make([][]float64, len(x))
+	ys := make([]float64, len(y))
+	for i := range x {
+		xi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			xi[j] = (x[i][j] - n.xMean[j]) / n.xStd[j]
+		}
+		xs[i] = xi
+		ys[i] = (y[i] - n.yMean) / n.yStd
+	}
+
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	const batch = 16
+	for e := 0; e < epochs; e++ {
+		n.rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += batch {
+			end := start + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			grads := make([][]float64, len(n.weights))
+			for l := range grads {
+				grads[l] = make([]float64, len(n.weights[l]))
+			}
+			for _, i := range idx[start:end] {
+				n.backprop(xs[i], ys[i], grads)
+			}
+			scale := 1.0 / float64(end-start)
+			n.adamStep(grads, lr, scale)
+		}
+	}
+}
+
+// backprop accumulates gradients of squared error into grads.
+func (n *MLP) backprop(x []float64, y float64, grads [][]float64) {
+	acts := n.forward(x)
+	last := len(acts) - 1
+	// dL/dout for L = ½(out−y)²
+	delta := []float64{acts[last][0] - y}
+	for l := len(n.weights) - 1; l >= 0; l-- {
+		in, out := n.sizes[l], n.sizes[l+1]
+		w := n.weights[l]
+		g := grads[l]
+		prev := acts[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			for i := 0; i < in; i++ {
+				g[i*out+o] += prev[i] * d
+			}
+			g[in*out+o] += d // bias
+		}
+		if l > 0 {
+			nd := make([]float64, in)
+			for i := 0; i < in; i++ {
+				var s float64
+				for o := 0; o < out; o++ {
+					s += w[i*out+o] * delta[o]
+				}
+				// tanh' = 1 − a²
+				a := prev[i]
+				nd[i] = s * (1 - a*a)
+			}
+			delta = nd
+		}
+	}
+}
+
+func (n *MLP) adamStep(grads [][]float64, lr, scale float64) {
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	n.t++
+	c1 := 1 - math.Pow(b1, float64(n.t))
+	c2 := 1 - math.Pow(b2, float64(n.t))
+	for l := range n.weights {
+		w, g, m, v := n.weights[l], grads[l], n.m[l], n.v[l]
+		for i := range w {
+			gi := g[i] * scale
+			m[i] = b1*m[i] + (1-b1)*gi
+			v[i] = b2*v[i] + (1-b2)*gi*gi
+			w[i] -= lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+		}
+	}
+}
+
+// Predict evaluates the network on a raw input.
+func (n *MLP) Predict(x []float64) float64 {
+	if n.xMean == nil {
+		return 0
+	}
+	xi := make([]float64, len(x))
+	for j := range x {
+		xi[j] = (x[j] - n.xMean[j]) / n.xStd[j]
+	}
+	acts := n.forward(xi)
+	return acts[len(acts)-1][0]*n.yStd + n.yMean
+}

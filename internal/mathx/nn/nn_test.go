@@ -1,0 +1,78 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMLPFitsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, 3*x[0]-2*x[1]+1)
+	}
+	net := NewMLP(rand.New(rand.NewSource(2)), 2, 16, 1)
+	net.Train(xs, ys, 200, 0.01)
+	var mae float64
+	for i := 0; i < 50; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		mae += math.Abs(net.Predict(x) - (3*x[0] - 2*x[1] + 1))
+	}
+	if mae/50 > 0.2 {
+		t.Errorf("linear fit mean abs error %v", mae/50)
+	}
+}
+
+func TestMLPFitsQuadraticBowl(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(x []float64) float64 {
+		return 10 * ((x[0]-0.5)*(x[0]-0.5) + (x[1]-0.5)*(x[1]-0.5))
+	}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	net := NewMLP(rand.New(rand.NewSource(4)), 2, 24, 24, 1)
+	net.Train(xs, ys, 300, 0.01)
+	// The surrogate's minimum should sit near the true minimum.
+	bestX, bestF := []float64{0, 0}, math.Inf(1)
+	for gx := 0.0; gx <= 1.0; gx += 0.05 {
+		for gy := 0.0; gy <= 1.0; gy += 0.05 {
+			if v := net.Predict([]float64{gx, gy}); v < bestF {
+				bestF = v
+				bestX = []float64{gx, gy}
+			}
+		}
+	}
+	if math.Abs(bestX[0]-0.5) > 0.15 || math.Abs(bestX[1]-0.5) > 0.15 {
+		t.Errorf("surrogate minimum at %v, want near (0.5, 0.5)", bestX)
+	}
+}
+
+func TestMLPUntrainedPredictsZero(t *testing.T) {
+	net := NewMLP(rand.New(rand.NewSource(5)), 2, 4, 1)
+	if net.Predict([]float64{0.5, 0.5}) != 0 {
+		t.Error("untrained net should predict 0")
+	}
+}
+
+func TestMLPPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for one-layer MLP")
+		}
+	}()
+	NewMLP(rand.New(rand.NewSource(6)), 3)
+}
+
+func TestMLPTrainEmptyNoop(t *testing.T) {
+	net := NewMLP(rand.New(rand.NewSource(7)), 2, 4, 1)
+	net.Train(nil, nil, 10, 0.01) // must not panic
+}

@@ -1,0 +1,87 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shiftedSphere has its minimum 0 at (0.3, 0.7, 0.5).
+func shiftedSphere(x []float64) float64 {
+	c := []float64{0.3, 0.7, 0.5}
+	var s float64
+	for i := range x {
+		d := x[i] - c[i%3]
+		s += d * d
+	}
+	return s
+}
+
+func TestOptimizersMinimizeSphere(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(rng *rand.Rand) Best
+		tol  float64
+	}{
+		{"RandomSearch", func(rng *rand.Rand) Best { return RandomSearch(shiftedSphere, 3, 600, rng) }, 0.1},
+		{"RRS", func(rng *rand.Rand) Best { return RecursiveRandomSearch(shiftedSphere, 3, 600, rng) }, 0.02},
+		{"HillClimb", func(rng *rand.Rand) Best { return HillClimb(shiftedSphere, 3, 600, rng) }, 0.02},
+		{"Anneal", func(rng *rand.Rand) Best { return Anneal(shiftedSphere, 3, 800, rng) }, 0.05},
+	}
+	for _, c := range cases {
+		best := c.run(rand.New(rand.NewSource(7)))
+		if best.F > c.tol {
+			t.Errorf("%s: best %v > tol %v at %v", c.name, best.F, c.tol, best.X)
+		}
+	}
+}
+
+func TestNelderMeadConverges(t *testing.T) {
+	start := []float64{0.9, 0.1, 0.9}
+	best := NelderMead(shiftedSphere, start, 0.2, 400)
+	if best.F > 1e-3 {
+		t.Errorf("NelderMead best %v at %v", best.F, best.X)
+	}
+}
+
+func TestMultiStartBeatsSingleStart(t *testing.T) {
+	// Two-basin function: global minimum at 0.9, local trap at 0.2.
+	twoBasin := func(x []float64) float64 {
+		v := x[0]
+		return math.Min((v-0.2)*(v-0.2)+0.5, (v-0.9)*(v-0.9))
+	}
+	rng := rand.New(rand.NewSource(9))
+	best := MultiStart(twoBasin, 1, 8, 100, [][]float64{{0.15}}, rng)
+	if best.F > 0.05 {
+		t.Errorf("MultiStart stuck in local basin: %v at %v", best.F, best.X)
+	}
+}
+
+func TestBudgetZeroSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range []Best{
+		RecursiveRandomSearch(shiftedSphere, 2, 0, rng),
+		HillClimb(shiftedSphere, 2, 0, rng),
+		Anneal(shiftedSphere, 2, 0, rng),
+	} {
+		if !math.IsInf(b.F, 1) {
+			t.Error("zero budget should return empty best")
+		}
+	}
+}
+
+func TestResultsStayInCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	escape := func(x []float64) float64 {
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("optimizer evaluated out-of-cube point %v", x)
+			}
+		}
+		return -x[0] // pushes toward the boundary
+	}
+	RecursiveRandomSearch(escape, 2, 300, rng)
+	HillClimb(escape, 2, 300, rng)
+	Anneal(escape, 2, 300, rng)
+	NelderMead(escape, []float64{0.9, 0.5}, 0.3, 200)
+}

@@ -1,0 +1,207 @@
+// Package stat provides the summary statistics, correlation measures, and
+// normal-distribution helpers the tuning algorithms and benchmark harness
+// rely on.
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; 0 for fewer than 2 values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum; +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum; -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest value; -1 for empty input.
+func ArgMin(xs []float64) int {
+	best, at := math.Inf(1), -1
+	for i, x := range xs {
+		if x < best {
+			best, at = x, i
+		}
+	}
+	return at
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation on
+// a sorted copy of xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson correlation of two equal-length samples; 0 if
+// either sample has no variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Ranks returns the fractional ranks of xs (average rank for ties), 1-based.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation of two samples. The
+// benchmark harness uses it to score how well a parameter-ranking approach
+// (SARD, Lasso) recovers the ground-truth importance order.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// NormPDF returns the standard normal density at z.
+func NormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// NormCDF returns the standard normal CDF at z.
+func NormCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// WelchT returns Welch's t statistic and approximate degrees of freedom for
+// two samples. SARD-style screening uses it to decide whether a parameter's
+// effect is statistically significant.
+func WelchT(a, b []float64) (t, df float64) {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return 0, 0
+	}
+	va, vb := Variance(a)/na, Variance(b)/nb
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		return 0, na + nb - 2
+	}
+	t = (Mean(a) - Mean(b)) / se
+	denom := va*va/(na-1) + vb*vb/(nb-1)
+	if denom == 0 {
+		return t, na + nb - 2
+	}
+	df = (va + vb) * (va + vb) / denom
+	return t, df
+}
+
+// MeanAbs returns the mean absolute value.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	return s / float64(len(xs))
+}
+
+// MAPE returns the mean absolute percentage error of predictions vs actuals,
+// skipping zero actuals. Cost-model accuracy is reported with it.
+func MAPE(pred, actual []float64) float64 {
+	var s float64
+	n := 0
+	for i := range pred {
+		if i >= len(actual) || actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,226 @@
+package dbms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+func newTPCH(seed int64) *DBMS {
+	return New(cluster.CommodityNode(), workload.TPCHLike(4), seed)
+}
+
+func newOLTP(seed int64) *DBMS {
+	return New(cluster.CommodityNode(), workload.OLTP(64, 2), seed)
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := newTPCH(7), newTPCH(7)
+	cfg := a.Space().Default()
+	for i := 0; i < 5; i++ {
+		ra, rb := a.Run(cfg), b.Run(cfg)
+		if ra.Time != rb.Time {
+			t.Fatalf("run %d: %v != %v", i, ra.Time, rb.Time)
+		}
+	}
+}
+
+func TestNoiseVariesAcrossRuns(t *testing.T) {
+	d := newTPCH(8)
+	cfg := d.Space().Default()
+	if d.Run(cfg).Time == d.Run(cfg).Time {
+		t.Error("repeated runs should differ by noise")
+	}
+}
+
+// averaged damps run noise for monotonicity checks.
+func averaged(d *DBMS, cfg tune.Config, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += d.Run(cfg).Time
+	}
+	return s / float64(n)
+}
+
+func TestBufferPoolHelpsScans(t *testing.T) {
+	d := newTPCH(9)
+	d.NoiseStd = 0.001
+	small := d.Space().Default().With(BufferPoolMB, 128.0)
+	big := d.Space().Default().With(BufferPoolMB, 6000.0)
+	if ts, tb := averaged(d, small, 3), averaged(d, big, 3); tb >= ts {
+		t.Errorf("bigger buffer pool should help: %v vs %v", ts, tb)
+	}
+}
+
+func TestWorkMemAvoidsSpills(t *testing.T) {
+	d := newTPCH(10)
+	d.NoiseStd = 0.001
+	def := d.Space().Default()
+	rSmall := d.Run(def.With(WorkMemMB, 2.0))
+	rBig := d.Run(def.With(WorkMemMB, 512.0))
+	if rBig.Metrics["temp_io_mb"] >= rSmall.Metrics["temp_io_mb"] {
+		t.Errorf("more work_mem should spill less: %v vs %v",
+			rSmall.Metrics["temp_io_mb"], rBig.Metrics["temp_io_mb"])
+	}
+	if rBig.Time >= rSmall.Time {
+		t.Errorf("spill reduction should shorten runtime: %v vs %v", rSmall.Time, rBig.Time)
+	}
+}
+
+func TestMemoryOversubscriptionFails(t *testing.T) {
+	d := newTPCH(11)
+	bad := d.Space().Default().
+		With(BufferPoolMB, 15000.0).
+		With(WorkMemMB, 2048.0).
+		With(MaxWorkers, 32).
+		With(MaxConnections, 512)
+	res := d.Run(bad)
+	if !res.Failed {
+		t.Fatalf("oversubscribed config should fail, metrics: %v", res.Metrics["mem_oversubscription"])
+	}
+	if res.FailReason == "" {
+		t.Error("failure should carry a reason")
+	}
+}
+
+func TestMetricsPresent(t *testing.T) {
+	d := newOLTP(12)
+	res := d.Run(d.Space().Default())
+	for _, key := range []string{
+		"buffer_hit_ratio", "cpu_seconds", "lock_wait_s", "deadlocks",
+		"wal_mb", "mem_used_mb", "throughput_ops", "epoch_time",
+	} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("missing metric %q", key)
+		}
+	}
+	if h := res.Metrics["buffer_hit_ratio"]; h < 0 || h > 1 {
+		t.Errorf("hit ratio %v out of [0,1]", h)
+	}
+}
+
+func TestOLTPContentionRespondsToConnections(t *testing.T) {
+	d := newOLTP(13)
+	d.NoiseStd = 0.001
+	few := d.Run(d.Space().Default().With(MaxConnections, 16))
+	many := d.Run(d.Space().Default().With(MaxConnections, 512))
+	if few.Metrics["lock_wait_s"] > many.Metrics["lock_wait_s"] {
+		t.Errorf("more connections should contend more: %v vs %v",
+			few.Metrics["lock_wait_s"], many.Metrics["lock_wait_s"])
+	}
+}
+
+func TestPlannerMisleadByStats(t *testing.T) {
+	d := newTPCH(14)
+	d.NoiseStd = 0.001
+	rich := averaged(d, d.Space().Default().With(StatsTarget, 1000), 5)
+	poor := averaged(d, d.Space().Default().With(StatsTarget, 10), 5)
+	// Poor statistics cause misestimates and occasional bad plans; the rich
+	// setting should never be meaningfully worse.
+	if rich > poor*1.1 {
+		t.Errorf("rich stats (%v) should not lose badly to poor stats (%v)", rich, poor)
+	}
+}
+
+func TestAdaptiveRunMatchesEpochs(t *testing.T) {
+	d := newTPCH(15)
+	calls := 0
+	ctl := epochFunc(func(i int, cur tune.Config, prev map[string]float64) tune.Config {
+		calls++
+		if i == 0 && prev != nil {
+			t.Error("first epoch should have nil prev metrics")
+		}
+		return cur
+	})
+	res := d.RunAdaptive(d.Space().Default(), ctl)
+	if calls != d.Epochs() {
+		t.Errorf("controller called %d times, want %d", calls, d.Epochs())
+	}
+	if res.Time <= 0 {
+		t.Error("adaptive run should accumulate time")
+	}
+	// An adaptive run with a no-op controller costs about one plain run.
+	plain := averaged(d, d.Space().Default(), 3)
+	if res.Time < plain*0.5 || res.Time > plain*1.5 {
+		t.Errorf("no-op adaptive run %v far from plain run %v", res.Time, plain)
+	}
+}
+
+func TestAdaptivePenalizesDisruptiveChange(t *testing.T) {
+	d := newTPCH(16)
+	d.NoiseStd = 0.0001
+	flip := epochFunc(func(i int, cur tune.Config, prev map[string]float64) tune.Config {
+		// Toggle max_connections between two behaviorally equivalent values:
+		// a restart-class change with no performance upside, isolating the
+		// churn penalty itself.
+		if i%2 == 1 {
+			return cur.With(MaxConnections, 101)
+		}
+		return cur.With(MaxConnections, 100)
+	})
+	noop := epochFunc(func(i int, cur tune.Config, prev map[string]float64) tune.Config { return cur })
+	d2 := newTPCH(16)
+	d2.NoiseStd = 0.0001
+	flippy := d.RunAdaptive(d.Space().Default(), flip)
+	calm := d2.RunAdaptive(d2.Space().Default(), noop)
+	if flippy.Time <= calm.Time {
+		t.Errorf("restart-class churn should cost time: %v vs %v", flippy.Time, calm.Time)
+	}
+}
+
+type epochFunc func(i int, cur tune.Config, prev map[string]float64) tune.Config
+
+func (f epochFunc) Epoch(i int, cur tune.Config, prev map[string]float64) tune.Config {
+	return f(i, cur, prev)
+}
+
+func TestWorkloadFeatures(t *testing.T) {
+	f := newTPCH(17).WorkloadFeatures()
+	if f["data_gb"] <= 0 || f["scan_frac"] <= 0 {
+		t.Errorf("features = %v", f)
+	}
+	fo := newOLTP(18).WorkloadFeatures()
+	if fo["update_frac"] <= 0 {
+		t.Errorf("oltp should have updates: %v", fo)
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	s := newTPCH(19).Specs()
+	if s["ram_mb"] != 16*1024 || s["cores"] != 8 {
+		t.Errorf("specs = %v", s)
+	}
+}
+
+// Property: every run under any configuration returns positive finite time
+// and non-negative metrics.
+func TestRunAlwaysWellFormed(t *testing.T) {
+	d := newTPCH(20)
+	space := d.Space()
+	f := func(raw [16]float64) bool {
+		x := make([]float64, space.Dim())
+		for i := range x {
+			x[i] = math.Abs(math.Mod(raw[i%16], 1))
+			if math.IsNaN(x[i]) {
+				x[i] = 0.5
+			}
+		}
+		res := d.Run(space.FromVector(x))
+		if !(res.Time > 0) || math.IsInf(res.Time, 0) || math.IsNaN(res.Time) {
+			return false
+		}
+		for _, v := range res.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package mapreduce
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+func newTerasort(seed int64) *Hadoop {
+	return New(cluster.Commodity(8), workload.TeraSort(10), seed)
+}
+
+func avg(h *Hadoop, cfg tune.Config, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += h.Run(cfg).Time
+	}
+	return s / float64(n)
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := newTerasort(1), newTerasort(1)
+	cfg := a.Space().Default()
+	if a.Run(cfg).Time != b.Run(cfg).Time {
+		t.Error("same seed must reproduce the same run")
+	}
+}
+
+func TestSortBufferOverHeapFails(t *testing.T) {
+	h := newTerasort(2)
+	bad := h.Space().Default().With(IOSortMB, 900.0).With(JVMHeapMB, 400.0)
+	res := h.Run(bad)
+	if !res.Failed || !strings.Contains(res.FailReason, "OOM") {
+		t.Errorf("expected task OOM, got %+v", res.FailReason)
+	}
+}
+
+func TestSlotHeapOverRAMFails(t *testing.T) {
+	h := newTerasort(3)
+	bad := h.Space().Default().
+		With(JVMHeapMB, 4000.0).
+		With(MapSlots, 8).
+		With(RedSlots, 8)
+	res := h.Run(bad)
+	if !res.Failed {
+		t.Error("expected node memory exhaustion")
+	}
+}
+
+func TestParallelReducersBeatStockSingleReducer(t *testing.T) {
+	h := newTerasort(4)
+	h.NoiseStd = 0.001
+	one := avg(h, h.Space().Default().With(ReduceTasks, 1), 3)
+	many := avg(h, h.Space().Default().With(ReduceTasks, 48), 3)
+	if many >= one {
+		t.Errorf("48 reducers (%v) should beat 1 (%v)", many, one)
+	}
+	if one/many < 3 {
+		t.Errorf("serialized reduce should be several times slower, got %.1fx", one/many)
+	}
+}
+
+func TestCompressionHelpsShuffleHeavyJob(t *testing.T) {
+	h := newTerasort(5)
+	h.NoiseStd = 0.001
+	base := h.Space().Default().With(ReduceTasks, 32)
+	plain := avg(h, base.With(MapCompression, "none"), 3)
+	snappy := avg(h, base.With(MapCompression, "snappy"), 3)
+	if snappy >= plain {
+		t.Errorf("snappy (%v) should beat none (%v) on terasort", snappy, plain)
+	}
+}
+
+func TestCombinerOnlyHelpsReducibleJobs(t *testing.T) {
+	wc := New(cluster.Commodity(8), workload.WordCount(10), 6)
+	wc.NoiseStd = 0.001
+	base := wc.Space().Default().With(ReduceTasks, 32)
+	off := avg(wc, base.With(Combiner, false), 3)
+	on := avg(wc, base.With(Combiner, true), 3)
+	if on >= off {
+		t.Errorf("combiner should help wordcount: %v vs %v", on, off)
+	}
+	res := wc.Run(base.With(Combiner, true))
+	if res.Metrics["shuffle_mb"] >= wc.Run(base.With(Combiner, false)).Metrics["shuffle_mb"] {
+		t.Error("combiner should shrink the shuffle")
+	}
+}
+
+func TestSpeculativeExecutionTrimsTail(t *testing.T) {
+	// Average over multiple runs: stragglers are random.
+	h := newTerasort(7)
+	base := h.Space().Default().With(ReduceTasks, 32)
+	on := avg(h, base.With(Speculative, true), 12)
+	off := avg(h, base.With(Speculative, false), 12)
+	if on >= off {
+		t.Errorf("speculation should reduce mean runtime: on %v, off %v", on, off)
+	}
+}
+
+func TestJVMReuseHelpsManySmallTasks(t *testing.T) {
+	h := newTerasort(8)
+	h.NoiseStd = 0.001
+	base := h.Space().Default().With(SplitMB, 16.0).With(ReduceTasks, 32)
+	reuse := avg(h, base.With(JVMReuse, true), 3)
+	fresh := avg(h, base.With(JVMReuse, false), 3)
+	if reuse >= fresh {
+		t.Errorf("JVM reuse should amortize startup: %v vs %v", reuse, fresh)
+	}
+}
+
+func TestMetricsAndFeatures(t *testing.T) {
+	h := newTerasort(9)
+	res := h.Run(h.Space().Default())
+	for _, k := range []string{"map_tasks", "reduce_tasks", "shuffle_mb", "map_phase_s", "spilled_mb"} {
+		if _, ok := res.Metrics[k]; !ok {
+			t.Errorf("missing metric %q", k)
+		}
+	}
+	f := h.WorkloadFeatures()
+	if f["input_gb"] != 10 {
+		t.Errorf("features = %v", f)
+	}
+	if h.Specs()["nodes"] != 8 {
+		t.Error("specs wrong")
+	}
+}
+
+func TestHeterogeneousSlowerThanHomogeneous(t *testing.T) {
+	job := workload.TeraSort(10)
+	homog := New(cluster.Commodity(8), job, 10)
+	hetero := New(cluster.Heterogeneous(8), job, 10)
+	homog.NoiseStd, hetero.NoiseStd = 0.001, 0.001
+	cfg := homog.Space().Default().With(ReduceTasks, 32)
+	th := avg(homog, cfg, 3)
+	tt := avg(hetero, hetero.Space().Default().With(ReduceTasks, 32), 3)
+	if tt <= th {
+		t.Errorf("wave pacing by the weakest node should hurt: hetero %v vs homog %v", tt, th)
+	}
+}
+
+func TestRunAlwaysWellFormed(t *testing.T) {
+	h := newTerasort(11)
+	space := h.Space()
+	f := func(raw [14]float64) bool {
+		x := make([]float64, space.Dim())
+		for i := range x {
+			x[i] = math.Abs(math.Mod(raw[i%14], 1))
+			if math.IsNaN(x[i]) {
+				x[i] = 0.5
+			}
+		}
+		res := h.Run(space.FromVector(x))
+		return res.Time > 0 && !math.IsNaN(res.Time) && !math.IsInf(res.Time, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

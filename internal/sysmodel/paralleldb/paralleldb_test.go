@@ -1,0 +1,49 @@
+package paralleldb
+
+import (
+	"testing"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/mapreduce"
+	"repro/internal/workload"
+)
+
+func TestParallelDBBeatsStockHadoop(t *testing.T) {
+	cl := cluster.Commodity(8)
+	for _, job := range []*workload.MRJob{workload.Grep(10), workload.Aggregation(10), workload.JoinMR(10)} {
+		pdb := New(cl, job, 1)
+		h := mapreduce.New(cl, job, 2)
+		pt := pdb.Run(pdb.Space().Default()).Time
+		ht := h.Run(h.Space().Default()).Time
+		if pt >= ht {
+			t.Errorf("%s: parallel DB (%v) should beat stock Hadoop (%v)", job.Name, pt, ht)
+		}
+	}
+}
+
+func TestCompressionAndIndexKnobs(t *testing.T) {
+	cl := cluster.Commodity(8)
+	pdb := New(cl, workload.Grep(20), 3)
+	def := pdb.Space().Default()
+	// Disabling the index on the selective task must slow the scan.
+	withIdx := pdb.Run(def.With(IndexScans, true))
+	noIdx := pdb.Run(def.With(IndexScans, false))
+	if noIdx.Metrics["scan_mb_per_node"] <= withIdx.Metrics["scan_mb_per_node"] {
+		t.Error("index should reduce scanned volume on the selection task")
+	}
+	// Disabling compression increases the scan volume.
+	noComp := pdb.Run(def.With(CompressTables, false))
+	if noComp.Metrics["scan_mb_per_node"] <= withIdx.Metrics["scan_mb_per_node"] {
+		t.Error("compression should shrink scans")
+	}
+}
+
+func TestSpecsAndName(t *testing.T) {
+	pdb := New(cluster.Commodity(4), workload.JoinMR(5), 4)
+	if pdb.Name() != "paralleldb/join" {
+		t.Errorf("Name = %q", pdb.Name())
+	}
+	if pdb.Specs()["nodes"] != 4 {
+		t.Error("specs wrong")
+	}
+}

@@ -1,0 +1,186 @@
+package spark
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+func newPageRank(seed int64) *Spark {
+	return New(cluster.Commodity(8), workload.PageRank(2, 6), seed)
+}
+
+func avg(s *Spark, cfg tune.Config, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Run(cfg).Time
+	}
+	return sum / float64(n)
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := newPageRank(1), newPageRank(1)
+	cfg := a.Space().Default()
+	if a.Run(cfg).Time != b.Run(cfg).Time {
+		t.Error("same seed must reproduce runs")
+	}
+}
+
+func TestOversizedExecutorFailsPlacement(t *testing.T) {
+	s := newPageRank(2)
+	bad := s.Space().Default().With(ExecutorMemMB, 16300.0).With(ExecutorCores, 8)
+	// 16.3 GB + 8 cores fits exactly one executor per node — shrink RAM
+	// need by overshooting memory beyond the node.
+	res := s.Run(bad.With(ExecutorMemMB, 16384.0))
+	if !res.Failed && res.Metrics["executors_placed"] < 1 {
+		t.Error("expected placement failure or minimal placement")
+	}
+}
+
+func TestMoreExecutorsHelp(t *testing.T) {
+	s := newPageRank(3)
+	s.NoiseStd = 0.001
+	few := avg(s, s.Space().Default().With(NumExecutors, 2), 3)
+	many := avg(s, s.Space().Default().With(NumExecutors, 32), 3)
+	if many >= few {
+		t.Errorf("more executors should help: %v vs %v", many, few)
+	}
+}
+
+func TestKryoBeatsJava(t *testing.T) {
+	s := New(cluster.Commodity(8), workload.TeraSortSpark(5), 4)
+	s.NoiseStd = 0.001
+	base := s.Space().Default().With(NumExecutors, 16)
+	java := avg(s, base.With(Serializer, "java"), 3)
+	kryo := avg(s, base.With(Serializer, "kryo"), 3)
+	if kryo >= java {
+		t.Errorf("kryo (%v) should beat java (%v) on a shuffle-heavy job", kryo, java)
+	}
+}
+
+func TestCachingHelpsIterativeJobs(t *testing.T) {
+	s := newPageRank(5)
+	s.NoiseStd = 0.001
+	base := s.Space().Default().With(NumExecutors, 16).With(ExecutorMemMB, 6000.0)
+	memOnly := s.Run(base.With(StorageLevel, "memory_only"))
+	diskOnly := s.Run(base.With(StorageLevel, "disk_only"))
+	if memOnly.Metrics["cache_hit_fraction"] <= diskOnly.Metrics["cache_hit_fraction"] {
+		t.Error("memory_only should cache more than disk_only")
+	}
+}
+
+func TestShufflePartitionSweetSpot(t *testing.T) {
+	s := New(cluster.Commodity(8), workload.TeraSortSpark(10), 6)
+	s.NoiseStd = 0.001
+	base := s.Space().Default().With(NumExecutors, 16).With(ExecutorCores, 4)
+	tooFew := avg(s, base.With(ShuffleParts, 8), 3)
+	good := avg(s, base.With(ShuffleParts, 256), 3)
+	if good >= tooFew {
+		t.Errorf("8 partitions (%v) should lose to 256 (%v): skew and spills", tooFew, good)
+	}
+}
+
+func TestStreamingMetrics(t *testing.T) {
+	s := New(cluster.Commodity(8), workload.StreamingAgg(512, 8, 10), 7)
+	res := s.Run(s.Space().Default())
+	for _, k := range []string{"p95_batch_latency_s", "mean_batch_latency_s", "deadline_misses"} {
+		if _, ok := res.Metrics[k]; !ok {
+			t.Errorf("missing streaming metric %q", k)
+		}
+	}
+}
+
+func TestDriftGrowsBatches(t *testing.T) {
+	calm := New(cluster.Commodity(8), workload.StreamingAgg(512, 10, 10), 8)
+	drift := New(cluster.Commodity(8), workload.StreamingDrift(512, 10, 10, 0.2), 8)
+	calm.NoiseStd, drift.NoiseStd = 0.001, 0.001
+	tc := calm.Run(calm.Space().Default()).Time
+	td := drift.Run(drift.Space().Default()).Time
+	if td <= tc {
+		t.Errorf("drifting stream (%v) should take longer than steady (%v)", td, tc)
+	}
+}
+
+func TestAdaptiveAppliesOnlyRuntimeKnobs(t *testing.T) {
+	s := newPageRank(9)
+	var sawParts float64
+	ctl := epochFunc(func(i int, cur tune.Config, prev map[string]float64) tune.Config {
+		// Try to change both a runtime knob and a restart knob.
+		next := cur.With(ShuffleParts, 64).With(NumExecutors, 32)
+		sawParts = next.Native(ShuffleParts)
+		return next
+	})
+	res := s.RunAdaptive(s.Space().Default(), ctl)
+	if sawParts == 0 {
+		t.Fatal("controller never ran")
+	}
+	// Executor count must stay at the deployment's value (default 2).
+	if res.Metrics["executors_placed"] > 3 {
+		t.Errorf("executor sizing changed mid-run: %v", res.Metrics["executors_placed"])
+	}
+	if res.Metrics["shuffle_partitions"] < 30 {
+		t.Errorf("runtime knob should have been applied: %v", res.Metrics["shuffle_partitions"])
+	}
+}
+
+type epochFunc func(i int, cur tune.Config, prev map[string]float64) tune.Config
+
+func (f epochFunc) Epoch(i int, cur tune.Config, prev map[string]float64) tune.Config {
+	return f(i, cur, prev)
+}
+
+func TestFullSpaceShape(t *testing.T) {
+	cl := cluster.Commodity(8)
+	full := FullSpace(cl)
+	if full.Dim() < 195 || full.Dim() > 210 {
+		t.Errorf("full space has %d parameters, want ~200", full.Dim())
+	}
+	eff := full.EffectiveDim()
+	if eff < 25 || eff > 35 {
+		t.Errorf("effective parameters = %d, want ~30", eff)
+	}
+	// The effective space must be a prefix-compatible subset.
+	effSpace := Space(cl)
+	for _, name := range effSpace.Names() {
+		if _, ok := full.Param(name); !ok {
+			t.Errorf("effective knob %q missing from full space", name)
+		}
+	}
+}
+
+func TestSecondTierKnobsWired(t *testing.T) {
+	cl := cluster.Commodity(8)
+	s := NewFull(cl, workload.TeraSortSpark(10), 10)
+	s.NoiseStd = 0.0001
+	base := s.Space().Default().With(NumExecutors, 16).With(ExecutorCores, 4).
+		With(ExecutorMemMB, 1024.0).With(ShuffleParts, 64)
+	// Storage fraction shifts execution memory: extremes should differ.
+	lo := avg(s, base.With("spark_memory_storage_fraction", 0.2), 3)
+	hi := avg(s, base.With("spark_memory_storage_fraction", 0.8), 3)
+	if math.Abs(lo-hi)/math.Max(lo, hi) < 0.005 {
+		t.Errorf("storage fraction has no effect: %v vs %v", lo, hi)
+	}
+}
+
+func TestRunAlwaysWellFormed(t *testing.T) {
+	s := newPageRank(11)
+	space := s.Space()
+	f := func(raw [14]float64) bool {
+		x := make([]float64, space.Dim())
+		for i := range x {
+			x[i] = math.Abs(math.Mod(raw[i%14], 1))
+			if math.IsNaN(x[i]) {
+				x[i] = 0.5
+			}
+		}
+		res := s.Run(space.FromVector(x))
+		return res.Time > 0 && !math.IsNaN(res.Time) && !math.IsInf(res.Time, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

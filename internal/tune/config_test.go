@@ -1,0 +1,106 @@
+package tune
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigWithSetters(t *testing.T) {
+	s := testSpace()
+	c := s.Default().
+		With("mem", 128.0).
+		With("workers", 7).
+		With("compress", true).
+		With("policy", "clock")
+	if v := c.Float("mem"); math.Abs(v-128) > 1 {
+		t.Errorf("mem = %v, want ≈128", v)
+	}
+	if c.Int("workers") != 7 || !c.Bool("compress") || c.Str("policy") != "clock" {
+		t.Errorf("setters failed: %s", c)
+	}
+}
+
+func TestConfigWithPanics(t *testing.T) {
+	s := testSpace()
+	for _, f := range []func(){
+		func() { s.Default().With("ghost", 1.0) },
+		func() { s.Default().With("policy", "nope") },
+		func() { s.Default().With("mem", struct{}{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfigImmutability(t *testing.T) {
+	s := testSpace()
+	base := s.Default()
+	_ = base.With("workers", 8)
+	if base.Int("workers") != 2 {
+		t.Error("With must not mutate the receiver")
+	}
+}
+
+func TestConfigStringDeterministic(t *testing.T) {
+	s := testSpace()
+	c := s.Default()
+	if c.String() != c.String() {
+		t.Error("String must be deterministic")
+	}
+	if !strings.Contains(c.String(), "mem=") {
+		t.Errorf("String missing parameter: %s", c)
+	}
+	if (Config{}).String() != "<invalid config>" {
+		t.Error("zero config should render as invalid")
+	}
+}
+
+func TestConfigMap(t *testing.T) {
+	m := testSpace().Default().Map()
+	if m["policy"] != "lru" || m["compress"] != "off" {
+		t.Errorf("Map = %v", m)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	s := testSpace()
+	f := func(a, b [4]float64) bool {
+		ca := s.FromVector(clampSlice(a[:]))
+		cb := s.FromVector(clampSlice(b[:]))
+		dab, dba := ca.Distance(cb), cb.Distance(ca)
+		return math.Abs(dab-dba) < 1e-12 && dab >= 0 && dab <= 1+1e-12 && ca.Distance(ca) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampSlice(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Abs(math.Mod(v, 1))
+		if math.IsNaN(out[i]) {
+			out[i] = 0.5
+		}
+	}
+	return out
+}
+
+func TestResultObjectivePenalizesFailure(t *testing.T) {
+	ok := Result{Time: 100}
+	bad := Result{Time: 100, Failed: true}
+	if ok.Objective() != 100 {
+		t.Errorf("ok objective = %v", ok.Objective())
+	}
+	if bad.Objective() <= ok.Objective() {
+		t.Error("failure must be penalized")
+	}
+}

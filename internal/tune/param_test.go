@@ -1,0 +1,170 @@
+package tune
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloatDecodeRange(t *testing.T) {
+	p := Float("x", 2, 10, 4)
+	if got := p.decode(0); got != 2 {
+		t.Errorf("decode(0) = %v, want 2", got)
+	}
+	if got := p.decode(1); got != 10 {
+		t.Errorf("decode(1) = %v, want 10", got)
+	}
+	if got := p.decode(0.5); got != 6 {
+		t.Errorf("decode(0.5) = %v, want 6", got)
+	}
+}
+
+func TestLogFloatDecode(t *testing.T) {
+	p := LogFloat("x", 1, 1024, 32)
+	if got := p.decode(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("decode(0) = %v, want 1", got)
+	}
+	if got := p.decode(1); math.Abs(got-1024) > 1e-6 {
+		t.Errorf("decode(1) = %v, want 1024", got)
+	}
+	if got := p.decode(0.5); math.Abs(got-32) > 1e-6 {
+		t.Errorf("decode(0.5) = %v, want 32 (geometric midpoint)", got)
+	}
+}
+
+func TestIntDecodeRounds(t *testing.T) {
+	p := Int("n", 1, 5, 3)
+	seen := map[float64]bool{}
+	for u := 0.0; u <= 1.0; u += 0.01 {
+		v := p.decode(u)
+		if v != math.Trunc(v) {
+			t.Fatalf("decode(%v) = %v not integral", u, v)
+		}
+		if v < 1 || v > 5 {
+			t.Fatalf("decode(%v) = %v out of range", u, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected all 5 levels reachable, got %d", len(seen))
+	}
+}
+
+func TestBoolDecode(t *testing.T) {
+	p := Bool("b", false)
+	if p.decode(0.49) != 0 || p.decode(0.51) != 1 {
+		t.Error("bool decode threshold wrong")
+	}
+}
+
+func TestChoiceDecodeCoversAll(t *testing.T) {
+	p := Choice("c", []string{"a", "b", "c"}, "b")
+	seen := map[float64]bool{}
+	for u := 0.0; u < 1.0; u += 0.001 {
+		seen[p.decode(u)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("expected 3 choices reachable, got %d", len(seen))
+	}
+	if p.decode(1.0) != 2 {
+		t.Errorf("decode(1.0) = %v, want last index", p.decode(1.0))
+	}
+}
+
+func TestChoicePanicsOnBadDefault(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad default choice")
+		}
+	}()
+	Choice("c", []string{"a"}, "zzz")
+}
+
+// Property: for every parameter kind, encode(decode(u)) decodes to the same
+// native value as u did — the round trip is stable in value space.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	params := []Param{
+		Float("f", -3, 7, 0),
+		LogFloat("lf", 0.5, 512, 8),
+		Int("i", 0, 40, 5),
+		LogInt("li", 1, 4096, 64),
+		Bool("b", true),
+		Choice("c", []string{"x", "y", "z", "w"}, "y"),
+	}
+	for _, p := range params {
+		p := p
+		f := func(raw float64) bool {
+			u := math.Abs(math.Mod(raw, 1))
+			v := p.decode(u)
+			u2 := p.encode(v)
+			return p.decode(u2) == v
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("round trip failed for %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestDecodeClampsOutOfRange(t *testing.T) {
+	p := Float("f", 0, 1, 0.5)
+	if p.decode(-3) != 0 || p.decode(7) != 1 {
+		t.Error("decode must clamp to [0,1] inputs")
+	}
+	if got := p.decode(math.NaN()); got != 0.5 {
+		t.Errorf("NaN should decode mid-range, got %v", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		p    Param
+		v    float64
+		want string
+	}{
+		{Int("n", 0, 10, 1).WithUnit("MB"), 5, "5MB"},
+		{Bool("b", false), 1, "on"},
+		{Bool("b", false), 0, "off"},
+		{Choice("c", []string{"lru", "2q"}, "lru"), 1, "2q"},
+	}
+	for _, c := range cases {
+		if got := c.p.FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBuilders(t *testing.T) {
+	p := Float("x", 0, 1, 0).WithDoc("d", 7).WithUnit("s").AsInert().WithRestart()
+	if p.Doc != "d" || p.Impact != 7 || p.Unit != "s" || !p.Inert || !p.Restart {
+		t.Errorf("builders lost fields: %+v", p)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindFloat: "float", KindInt: "int", KindBool: "bool", KindCategorical: "categorical",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should include its number")
+	}
+}
+
+func TestRandomWithinBounds(t *testing.T) {
+	s := NewSpace(LogFloat("a", 1, 100, 10), Int("b", 0, 5, 2))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		c := s.Random(rng)
+		if v := c.Float("a"); v < 1 || v > 100 {
+			t.Fatalf("a out of range: %v", v)
+		}
+		if v := c.Int("b"); v < 0 || v > 5 {
+			t.Fatalf("b out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"math"
+)
+
+// Budget caps the cost a tuner may spend on a target. Trials bounds the
+// number of Run calls; SimTime, when positive, additionally bounds the
+// cumulative simulated execution time consumed by those runs (experiment-
+// driven tuners are expensive precisely because each trial is a real run;
+// the budget makes that cost explicit and comparable across categories).
+type Budget struct {
+	Trials  int
+	SimTime float64
+}
+
+// Trial records one configuration evaluation.
+type Trial struct {
+	N      int // 1-based trial number
+	Config Config
+	Result Result
+}
+
+// TuningResult is the outcome of a tuning session.
+type TuningResult struct {
+	Tuner       string
+	Target      string
+	Best        Config
+	BestResult  Result
+	Trials      []Trial
+	SimTimeUsed float64
+}
+
+// Curve returns the best objective seen after each trial — the "tuning
+// curve" used to compare convergence speed across approaches.
+func (r *TuningResult) Curve() []float64 {
+	out := make([]float64, len(r.Trials))
+	best := math.Inf(1)
+	for i, t := range r.Trials {
+		if v := t.Result.Objective(); v < best {
+			best = v
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// TrialsToWithin returns the 1-based trial index at which the tuner first
+// reached within factor×reference (e.g. 1.10×best-known); 0 if never.
+func (r *TuningResult) TrialsToWithin(reference, factor float64) int {
+	limit := reference * factor
+	for _, t := range r.Trials {
+		if !t.Result.Failed && t.Result.Time <= limit {
+			return t.N
+		}
+	}
+	return 0
+}
+
+// Tuner finds a good configuration for a target within a budget.
+// Implementations must be deterministic given their construction seed.
+type Tuner interface {
+	// Name identifies the tuner, e.g. "ituned" or "rules/dbms".
+	Name() string
+	// Tune searches for a good configuration. Implementations should
+	// respect ctx cancellation between trials and must never exceed the
+	// budget. A tuner that performs no real runs (rule-based, pure cost
+	// model) may return a result with zero trials.
+	Tune(ctx context.Context, t Target, b Budget) (*TuningResult, error)
+}
+
+// ErrBudgetExhausted is returned by Session.Run when the budget does not
+// admit another trial.
+var ErrBudgetExhausted = errors.New("tune: budget exhausted")
+
+// Session tracks trials against a budget on behalf of a tuner and maintains
+// the incumbent best. Tuners should evaluate configurations exclusively
+// through a session so accounting is uniform across categories.
+type Session struct {
+	target  Target
+	budget  Budget
+	ctx     context.Context
+	trials  []Trial
+	simUsed float64
+	best    Config
+	bestRes Result
+	hasBest bool
+}
+
+// NewSession starts a session for target under budget. ctx may be nil.
+func NewSession(ctx context.Context, target Target, budget Budget) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{target: target, budget: budget, ctx: ctx}
+}
+
+// Remaining returns how many trials the budget still admits.
+func (s *Session) Remaining() int { return s.budget.Trials - len(s.trials) }
+
+// Exhausted reports whether another trial is admissible.
+func (s *Session) Exhausted() bool {
+	if len(s.trials) >= s.budget.Trials {
+		return true
+	}
+	if s.budget.SimTime > 0 && s.simUsed >= s.budget.SimTime {
+		return true
+	}
+	return s.ctx.Err() != nil
+}
+
+// Run evaluates cfg against the target, recording the trial. It returns
+// ErrBudgetExhausted when no budget remains and the context error if the
+// session was cancelled.
+func (s *Session) Run(cfg Config) (Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if s.Exhausted() {
+		return Result{}, ErrBudgetExhausted
+	}
+	res := s.target.Run(cfg)
+	s.simUsed += res.Time
+	s.trials = append(s.trials, Trial{N: len(s.trials) + 1, Config: cfg, Result: res})
+	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
+		s.best, s.bestRes, s.hasBest = cfg, res, true
+	}
+	return res, nil
+}
+
+// RecordExternal records a trial whose result was obtained outside Run —
+// adaptive tuners drive tune.AdaptiveTarget.RunAdaptive directly and charge
+// the whole online run to the session as one trial, keeping cost accounting
+// uniform across categories.
+func (s *Session) RecordExternal(cfg Config, res Result) {
+	s.simUsed += res.Time
+	s.trials = append(s.trials, Trial{N: len(s.trials) + 1, Config: cfg, Result: res})
+	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
+		s.best, s.bestRes, s.hasBest = cfg, res, true
+	}
+}
+
+// Best returns the incumbent configuration and result. If no trial was run
+// the target default is returned with a zero Result.
+func (s *Session) Best() (Config, Result) {
+	if !s.hasBest {
+		return s.target.Space().Default(), Result{}
+	}
+	return s.best, s.bestRes
+}
+
+// Trials returns the recorded trials. The caller must not modify the slice.
+func (s *Session) Trials() []Trial { return s.trials }
+
+// SimTimeUsed returns the cumulative simulated seconds consumed.
+func (s *Session) SimTimeUsed() float64 { return s.simUsed }
+
+// Finish packages the session into a TuningResult for the named tuner.
+// If the session ran no trials, best falls back to the provided recommended
+// configuration evaluated zero times (rule-based and cost-model tuners
+// recommend without running); callers may pass an invalid Config{} to use
+// the target default.
+func (s *Session) Finish(tuner string, recommended Config) *TuningResult {
+	res := &TuningResult{
+		Tuner:       tuner,
+		Target:      s.target.Name(),
+		Trials:      s.trials,
+		SimTimeUsed: s.simUsed,
+	}
+	if s.hasBest {
+		res.Best, res.BestResult = s.best, s.bestRes
+	} else if recommended.Valid() {
+		res.Best = recommended
+	} else {
+		res.Best = s.target.Space().Default()
+	}
+	return res
+}

@@ -1,0 +1,213 @@
+package tune
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stubTarget is a quadratic bowl with its minimum at (0.7, 0.3).
+type stubTarget struct {
+	space *Space
+	runs  int
+}
+
+func newStubTarget() *stubTarget {
+	return &stubTarget{space: NewSpace(Float("x", 0, 1, 0.5), Float("y", 0, 1, 0.5))}
+}
+
+func (s *stubTarget) Name() string  { return "stub/bowl" }
+func (s *stubTarget) Space() *Space { return s.space }
+func (s *stubTarget) Run(cfg Config) Result {
+	s.runs++
+	x, y := cfg.Float("x"), cfg.Float("y")
+	t := 1 + 10*((x-0.7)*(x-0.7)+(y-0.3)*(y-0.3))
+	return Result{Time: t, Metrics: map[string]float64{"x": x}}
+}
+
+func TestSessionBudgetEnforced(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(target.Space().Default()); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if !s.Exhausted() {
+		t.Error("session should be exhausted after 3 trials")
+	}
+	if _, err := s.Run(target.Space().Default()); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected ErrBudgetExhausted, got %v", err)
+	}
+	if target.runs != 3 {
+		t.Errorf("target ran %d times, want 3", target.runs)
+	}
+}
+
+func TestSessionSimTimeBudget(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 100, SimTime: 2.5})
+	n := 0
+	for !s.Exhausted() {
+		if _, err := s.Run(target.Space().Default()); err != nil {
+			break
+		}
+		n++
+	}
+	// Each run costs ≥1 simulated second, so the 2.5s budget admits ≤3.
+	if n > 3 {
+		t.Errorf("sim-time budget admitted %d runs", n)
+	}
+}
+
+func TestSessionTracksBest(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 10})
+	good := target.Space().Default().With("x", 0.7).With("y", 0.3)
+	bad := target.Space().Default().With("x", 0.0).With("y", 1.0)
+	if _, err := s.Run(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(good); err != nil {
+		t.Fatal(err)
+	}
+	best, res := s.Best()
+	if best.Float("x") != good.Float("x") || res.Time > 1.01 {
+		t.Errorf("best = %s (%.3f)", best, res.Time)
+	}
+}
+
+func TestSessionContextCancel(t *testing.T) {
+	target := newStubTarget()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSession(ctx, target, Budget{Trials: 10})
+	cancel()
+	if _, err := s.Run(target.Space().Default()); err == nil {
+		t.Error("expected context error after cancel")
+	}
+}
+
+func TestSessionRecordExternal(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 5})
+	s.RecordExternal(target.Space().Default(), Result{Time: 42})
+	if len(s.Trials()) != 1 || s.SimTimeUsed() != 42 {
+		t.Errorf("external trial not recorded: %d trials, %.0f sim", len(s.Trials()), s.SimTimeUsed())
+	}
+	_, res := s.Best()
+	if res.Time != 42 {
+		t.Errorf("best = %v", res.Time)
+	}
+}
+
+func TestFinishFallbacks(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 0})
+	rec := target.Space().Default().With("x", 0.9)
+	r := s.Finish("t", rec)
+	if r.Best.Float("x") != rec.Float("x") {
+		t.Error("Finish should fall back to the recommendation")
+	}
+	s2 := NewSession(nil, target, Budget{Trials: 0})
+	r2 := s2.Finish("t", Config{})
+	if !r2.Best.Valid() {
+		t.Error("Finish should fall back to the default config")
+	}
+}
+
+func TestTuningResultCurve(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 3})
+	cfgs := []Config{
+		target.Space().Default().With("x", 0.0).With("y", 1.0), // bad
+		target.Space().Default().With("x", 0.7).With("y", 0.3), // best
+		target.Space().Default().With("x", 0.5).With("y", 0.5), // middling
+	}
+	for _, c := range cfgs {
+		if _, err := s.Run(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := s.Finish("t", Config{})
+	curve := r.Curve()
+	if len(curve) != 3 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if !(curve[0] >= curve[1] && curve[1] == curve[2]) {
+		t.Errorf("curve not monotone non-increasing: %v", curve)
+	}
+	if got := r.TrialsToWithin(1.0, 1.1); got != 2 {
+		t.Errorf("TrialsToWithin = %d, want 2", got)
+	}
+	if got := r.TrialsToWithin(0.01, 1.1); got != 0 {
+		t.Errorf("TrialsToWithin unreachable = %d, want 0", got)
+	}
+}
+
+func TestRepositoryRoundTrip(t *testing.T) {
+	target := newStubTarget()
+	s := NewSession(nil, target, Budget{Trials: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Run(target.Space().Random(randSource(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repo := &Repository{}
+	repo.AddResult("stub", "bowl", map[string]float64{"size": 2}, s.Finish("t", Config{}))
+
+	var buf bytes.Buffer
+	if err := repo.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sessions) != 1 || len(back.Sessions[0].Trials) != 4 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Sessions[0].ParamNames[0] != "x" {
+		t.Errorf("param names lost: %v", back.Sessions[0].ParamNames)
+	}
+	if at := back.Sessions[0].BestTrial(); at < 0 {
+		t.Error("BestTrial not found")
+	}
+}
+
+func TestSimilarSessionsOrdering(t *testing.T) {
+	repo := &Repository{}
+	repo.Add(SessionRecord{System: "s", Workload: "far", Features: map[string]float64{"a": 100}})
+	repo.Add(SessionRecord{System: "s", Workload: "near", Features: map[string]float64{"a": 1}})
+	repo.Add(SessionRecord{System: "other", Workload: "x", Features: map[string]float64{"a": 0}})
+	got := repo.SimilarSessions("s", map[string]float64{"a": 2})
+	if len(got) != 2 || got[0].Workload != "near" {
+		t.Errorf("SimilarSessions = %+v", got)
+	}
+}
+
+func TestBestTrialSkipsFailures(t *testing.T) {
+	rec := SessionRecord{Trials: []TrialRecord{
+		{Time: 1, Failed: true},
+		{Time: 5},
+		{Time: 3},
+	}}
+	if at := rec.BestTrial(); at != 2 {
+		t.Errorf("BestTrial = %d, want 2", at)
+	}
+	empty := SessionRecord{}
+	if empty.BestTrial() != -1 {
+		t.Error("empty session should have no best trial")
+	}
+}
+
+func TestObjectiveInfinityGuard(t *testing.T) {
+	r := Result{Time: math.Inf(1)}
+	if !math.IsInf(r.Objective(), 1) {
+		t.Error("objective should propagate infinity")
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,291 @@
+// Package adaptive implements the survey's sixth category: tuners that
+// reconfigure the system while the workload runs, using the epoch hooks
+// exposed by tune.AdaptiveTarget.
+//
+//   - COLT (Schnaitter et al., SIGMOD 2006 demo): epoch-based online tuning
+//     with explicit cost-vs-gain accounting — a candidate configuration is
+//     adopted only when its observed gain outweighs the switch cost over the
+//     remaining epochs.
+//   - PartitionController (Gounaris et al., TPDS 2017): dynamic adjustment
+//     of Spark's shuffle partitioning between iterations from observed
+//     spill and task-overhead signals.
+//   - MemoryManager: an online STMM — shifts DBMS work memory in response
+//     to observed spills and cache pressure epoch by epoch.
+//   - Recommender (mrMoulder, Cai et al., FGCS 2019): cold-starts a new job
+//     from the most similar past session in a repository, then refines
+//     online.
+//
+// Adaptive tuning shines on long-running and ad-hoc work — it needs no
+// offline phase at all — but every probe epoch executes at the candidate's
+// speed, so bad probes cost real time; the cost-gain ledger below is the
+// guard the paper describes.
+package adaptive
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tune"
+)
+
+// COLT is an online epoch tuner usable as a tune.EpochController and, via
+// Tune, as a tune.Tuner over adaptive targets.
+type COLT struct {
+	Seed int64
+	// Radius is the perturbation radius for candidate generation
+	// (default 0.10).
+	Radius float64
+	// SwitchCost is the assumed epochs-equivalent cost of adopting a new
+	// configuration (default 0.08).
+	SwitchCost float64
+	// Runs is how many adaptive runs Tune performs (default 2): the first
+	// explores, later runs start from the best found so far.
+	Runs int
+	// TopKnobs bounds online probing to the highest-impact parameters
+	// (default 6): a live system cannot afford to wiggle every knob.
+	TopKnobs int
+}
+
+// NewCOLT returns a COLT tuner with defaults.
+func NewCOLT(seed int64) *COLT {
+	return &COLT{Seed: seed, Radius: 0.18, SwitchCost: 0.08, Runs: 2, TopKnobs: 6}
+}
+
+// Name implements tune.Tuner.
+func (t *COLT) Name() string { return "adaptive/colt" }
+
+// controller is one adaptive run's state.
+type controller struct {
+	rng        *rand.Rand
+	radius     float64
+	switchCost float64
+	epochs     int
+
+	space *tune.Space
+	// probeIdx limits perturbation to these parameter indices (nil = all).
+	probeIdx []int
+	current  tune.Config
+	curPerf  float64 // smoothed epoch objective of current config
+	haveCur  bool
+	probing  bool
+	probeCfg tune.Config
+	// lastDelta remembers the direction of the last adopted probe so the
+	// next probe continues along it (directional momentum); pendingDelta is
+	// the in-flight probe's direction.
+	lastDelta    []float64
+	pendingDelta []float64
+	probeCursor  int
+
+	best     tune.Config
+	bestPerf float64
+}
+
+// perturb probes one eligible knob at a time (round-robin), continuing the
+// last successful direction when one exists. Single-knob probes keep the
+// observed gain attributable — the property COLT's cost/gain ledger needs.
+func (c *controller) perturb(cfg tune.Config) tune.Config {
+	x := cfg.Vector()
+	delta := make([]float64, len(x))
+	idx := c.probeIdx
+	if idx == nil {
+		idx = make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	if c.lastDelta != nil {
+		// Momentum: push the previously adopted direction further.
+		for j := range delta {
+			delta[j] = 1.4 * c.lastDelta[j]
+		}
+	} else {
+		j := idx[c.probeCursor%len(idx)]
+		c.probeCursor++
+		step := c.radius * (1 + c.rng.Float64())
+		if c.rng.Intn(2) == 0 {
+			step = -step
+		}
+		delta[j] = step
+	}
+	for j := range delta {
+		if delta[j] != 0 {
+			x[j] = clamp01(x[j] + delta[j])
+		}
+	}
+	out := c.space.FromVector(x)
+	c.pendingDelta = delta
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Epoch implements tune.EpochController with COLT's observe → probe →
+// adopt-or-rollback cycle. Epoch metrics arrive via prev; the objective
+// proxy is the epoch's elapsed share, approximated here by io+cpu time
+// metrics when present, else by a counter the caller provides as
+// "epoch_time".
+func (c *controller) Epoch(i int, current tune.Config, prev map[string]float64) tune.Config {
+	perf := epochObjective(prev)
+	if i == 0 {
+		c.current = current
+		c.best = current
+		c.bestPerf = math.Inf(1)
+		return current
+	}
+	switch {
+	case c.probing:
+		// prev measured the probe configuration.
+		c.probing = false
+		remaining := float64(c.epochs - i)
+		gain := c.curPerf - perf
+		if c.haveCur && gain > 0 && gain*remaining > c.switchCost*c.curPerf {
+			// Adopt: the gain over remaining epochs pays the switch cost.
+			c.current = c.probeCfg
+			c.curPerf = perf
+			c.lastDelta = c.pendingDelta // keep pushing this direction
+		} else {
+			// Roll back and abandon the direction.
+			c.lastDelta = nil
+			if perf < c.bestPerf {
+				c.best, c.bestPerf = c.probeCfg, perf
+			}
+			return c.current
+		}
+	default:
+		// prev measured the current configuration: smooth its estimate.
+		if !c.haveCur {
+			c.curPerf = perf
+			c.haveCur = true
+		} else {
+			c.curPerf = 0.7*c.curPerf + 0.3*perf
+		}
+	}
+	if c.curPerf < c.bestPerf {
+		c.best, c.bestPerf = c.current, c.curPerf
+	}
+	// Launch a new probe every other epoch.
+	if i%2 == 0 && i < c.epochs-1 {
+		c.probeCfg = c.perturb(c.current)
+		c.probing = true
+		return c.probeCfg
+	}
+	return c.current
+}
+
+// epochObjective condenses epoch metrics into a scalar to minimize.
+func epochObjective(m map[string]float64) float64 {
+	if m == nil {
+		return math.Inf(1)
+	}
+	if v, ok := m["epoch_time"]; ok {
+		return v
+	}
+	// Fall back to time-like components the simulators expose.
+	return m["io_time_s"] + m["cpu_time_s"] + m["lock_wait_s"] + m["spilled_mb"]*0.001
+}
+
+// Controller returns a fresh tune.EpochController configured like the tuner,
+// for callers that drive tune.AdaptiveTarget.RunAdaptive directly (e.g. a
+// streaming deployment adapting from an informed static configuration).
+func (t *COLT) Controller(space *tune.Space, rng *rand.Rand, epochs int) tune.EpochController {
+	return &controller{
+		rng:        rng,
+		radius:     t.Radius,
+		switchCost: t.SwitchCost,
+		epochs:     epochs,
+		space:      space,
+		probeIdx:   t.probeIndices(space),
+	}
+}
+
+// probeIndices selects the runtime-adjustable, effective knobs to probe.
+func (t *COLT) probeIndices(space *tune.Space) []int {
+	topK := t.TopKnobs
+	if topK <= 0 {
+		topK = 6
+	}
+	if topK > space.Dim() {
+		topK = space.Dim()
+	}
+	probeIdx := make([]int, 0, topK)
+	for _, name := range space.ByImpact() {
+		p, _ := space.Param(name)
+		if p.Restart || p.Inert {
+			continue
+		}
+		probeIdx = append(probeIdx, space.IndexOf(name))
+		if len(probeIdx) == topK {
+			break
+		}
+	}
+	return probeIdx
+}
+
+// Tune implements tune.Tuner over adaptive targets: each budgeted trial is
+// one adaptive run; within a run, reconfiguration is free of trial cost but
+// pays real (simulated) time, exactly the trade the category makes.
+func (t *COLT) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	at, ok := target.(tune.AdaptiveTarget)
+	if !ok {
+		return nil, fmt.Errorf("adaptive/colt: target %q does not support online reconfiguration", target.Name())
+	}
+	runs := t.Runs
+	if runs <= 0 {
+		runs = 2
+	}
+	if runs > b.Trials {
+		runs = b.Trials
+	}
+	s := tune.NewSession(ctx, target, b)
+	space := target.Space()
+	start := space.Default()
+	// Probe only runtime-adjustable, effective knobs: a live system cannot
+	// restart mid-workload, and inert knobs waste probe epochs.
+	probeIdx := t.probeIndices(space)
+	var lastBest tune.Config
+	for r := 0; r < runs && !s.Exhausted(); r++ {
+		ctl := &controller{
+			rng:        rand.New(rand.NewSource(t.Seed + int64(r)*7919)),
+			radius:     t.Radius,
+			switchCost: t.SwitchCost,
+			epochs:     at.Epochs(),
+			space:      space,
+			probeIdx:   probeIdx,
+		}
+		res := adaptiveRunViaSession(s, at, start, ctl)
+		if res == nil {
+			break
+		}
+		lastBest = ctl.best
+		start = ctl.best // next run starts where this one converged
+	}
+	return s.Finish(t.Name(), lastBest), nil
+}
+
+// adaptiveRunViaSession performs one adaptive run, charging it to the
+// session as a single trial (recorded under the run's final configuration).
+// It returns nil when the budget is exhausted.
+func adaptiveRunViaSession(s *tune.Session, at tune.AdaptiveTarget, start tune.Config, ctl tune.EpochController) *tune.Result {
+	if s.Exhausted() {
+		return nil
+	}
+	res := at.RunAdaptive(start, ctl)
+	// Record through the session for uniform accounting: we re-inject the
+	// result by running a zero-cost shadow... the session API only supports
+	// Run, so instead we account the adaptive run directly.
+	s.RecordExternal(start, res)
+	return &res
+}
+
+var _ tune.Tuner = (*COLT)(nil)
+var _ tune.EpochController = (*controller)(nil)

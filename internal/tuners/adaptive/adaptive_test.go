@@ -1,0 +1,142 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tune"
+)
+
+func ctlSpace() *tune.Space {
+	return tune.NewSpace(
+		tune.Float("a", 0, 1, 0.5).WithDoc("main", 9),
+		tune.Float("b", 0, 1, 0.5).WithDoc("minor", 2),
+		tune.Float("locked", 0, 1, 0.5).WithDoc("deploy", 10).WithRestart(),
+	)
+}
+
+func TestCOLTControllerAdoptsImprovingProbe(t *testing.T) {
+	space := ctlSpace()
+	colt := NewCOLT(1)
+	ctl := colt.Controller(space, rand.New(rand.NewSource(1)), 20).(*controller)
+	cur := space.Default()
+	// Epoch 0: initialization.
+	cur = ctl.Epoch(0, cur, nil)
+	// Feed a stable baseline then an improving probe.
+	perf := func(v float64) map[string]float64 { return map[string]float64{"epoch_time": v} }
+	cur = ctl.Epoch(1, cur, perf(100)) // baseline
+	next := ctl.Epoch(2, cur, perf(100))
+	if !ctl.probing {
+		t.Fatal("controller should probe on even epochs")
+	}
+	// The probe reports a big win: it must be adopted.
+	adopted := ctl.Epoch(3, next, perf(40))
+	if adopted.Distance(cur) == 0 {
+		t.Error("improving probe should be adopted")
+	}
+	if ctl.curPerf != 40 {
+		t.Errorf("curPerf = %v, want 40", ctl.curPerf)
+	}
+}
+
+func TestCOLTControllerRollsBackRegression(t *testing.T) {
+	space := ctlSpace()
+	colt := NewCOLT(2)
+	ctl := colt.Controller(space, rand.New(rand.NewSource(2)), 20).(*controller)
+	perf := func(v float64) map[string]float64 { return map[string]float64{"epoch_time": v} }
+	cur := ctl.Epoch(0, space.Default(), nil)
+	cur = ctl.Epoch(1, cur, perf(100))
+	probe := ctl.Epoch(2, cur, perf(100))
+	back := ctl.Epoch(3, probe, perf(500)) // probe was terrible
+	if back.Distance(cur) != 0 {
+		t.Error("regressing probe must be rolled back")
+	}
+	if ctl.lastDelta != nil {
+		t.Error("momentum must reset after rollback")
+	}
+}
+
+func TestCOLTNeverProbesRestartKnobs(t *testing.T) {
+	space := ctlSpace()
+	colt := NewCOLT(3)
+	ctl := colt.Controller(space, rand.New(rand.NewSource(3)), 40).(*controller)
+	lockIdx := space.IndexOf("locked")
+	for _, j := range ctl.probeIdx {
+		if j == lockIdx {
+			t.Fatal("restart knob must not be probed online")
+		}
+	}
+	// Run a long synthetic session and confirm the locked coordinate never
+	// moves.
+	perf := func(v float64) map[string]float64 { return map[string]float64{"epoch_time": v} }
+	cur := ctl.Epoch(0, space.Default(), nil)
+	start := space.Default().Native("locked")
+	for i := 1; i < 40; i++ {
+		cur = ctl.Epoch(i, cur, perf(100-float64(i)))
+		if cur.Native("locked") != start {
+			t.Fatalf("epoch %d moved the restart knob", i)
+		}
+	}
+}
+
+func TestEpochObjectiveFallbacks(t *testing.T) {
+	if !math.IsInf(epochObjective(nil), 1) {
+		t.Error("nil metrics should be +Inf")
+	}
+	if epochObjective(map[string]float64{"epoch_time": 7}) != 7 {
+		t.Error("epoch_time should win")
+	}
+	v := epochObjective(map[string]float64{"io_time_s": 2, "cpu_time_s": 3})
+	if v != 5 {
+		t.Errorf("fallback objective = %v", v)
+	}
+}
+
+func TestPartitionControllerGrowsOnSpill(t *testing.T) {
+	space := tune.NewSpace(tune.LogInt("spark_sql_shuffle_partitions", 8, 4096, 200))
+	pc := NewPartitionController()
+	cur := space.Default()
+	cur = pc.Epoch(0, cur, nil)
+	next := pc.Epoch(1, cur, map[string]float64{"spilled_mb": 50, "epoch_time": 10})
+	if next.Int("spark_sql_shuffle_partitions") <= cur.Int("spark_sql_shuffle_partitions") {
+		t.Error("spills should grow partitions")
+	}
+}
+
+func TestPartitionControllerRevertsRegression(t *testing.T) {
+	space := tune.NewSpace(tune.LogInt("spark_sql_shuffle_partitions", 8, 4096, 200))
+	pc := NewPartitionController()
+	cur := pc.Epoch(0, space.Default(), nil)
+	// Shrink action (no spill, lots of partitions).
+	shrunk := pc.Epoch(1, cur, map[string]float64{"spilled_mb": 0, "epoch_time": 10})
+	if shrunk.Int("spark_sql_shuffle_partitions") >= cur.Int("spark_sql_shuffle_partitions") {
+		t.Fatal("expected shrink")
+	}
+	// The shrink regressed hard: controller must revert upward.
+	reverted := pc.Epoch(2, shrunk, map[string]float64{"spilled_mb": 0, "epoch_time": 50})
+	if reverted.Int("spark_sql_shuffle_partitions") <= shrunk.Int("spark_sql_shuffle_partitions") {
+		t.Error("regression should trigger a revert")
+	}
+}
+
+func TestMemoryManagerShedsOnPressure(t *testing.T) {
+	space := tune.NewSpace(
+		tune.LogFloat("work_mem_mb", 1, 2048, 64),
+		tune.LogFloat("buffer_pool_mb", 64, 16384, 1024),
+	)
+	mm := NewMemoryManager()
+	cur := space.Default()
+	next := mm.Epoch(1, cur, map[string]float64{"mem_oversubscription": 1.2})
+	if next.Float("work_mem_mb") >= cur.Float("work_mem_mb") {
+		t.Error("oversubscription must shed work memory")
+	}
+	grown := mm.Epoch(2, cur, map[string]float64{"spilled_queries": 5})
+	if grown.Float("work_mem_mb") <= cur.Float("work_mem_mb") {
+		t.Error("spills must grow work memory")
+	}
+	cached := mm.Epoch(3, cur, map[string]float64{"buffer_hit_ratio": 0.5})
+	if cached.Float("buffer_pool_mb") <= cur.Float("buffer_pool_mb") {
+		t.Error("poor hit ratio must grow the buffer pool")
+	}
+}

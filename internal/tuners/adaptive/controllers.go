@@ -1,0 +1,242 @@
+package adaptive
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tune"
+)
+
+// PartitionController adapts Spark's shuffle partition count between
+// iterations, after Gounaris et al.: spills mean partitions are too coarse
+// (grow them); vanishing per-task work means scheduling overhead dominates
+// (shrink them). It is a pure tune.EpochController; pair it with
+// AdaptiveTuner to use it as a tune.Tuner.
+type PartitionController struct {
+	// Param is the partition parameter name (default
+	// "spark_sql_shuffle_partitions").
+	Param string
+	// Grow and Shrink are the adjustment factors (defaults 1.6 / 0.7).
+	Grow, Shrink float64
+
+	lastPerf   float64
+	lastAction int // -1 shrink, 0 none, +1 grow
+	cooldown   int
+}
+
+// NewPartitionController returns a controller with defaults.
+func NewPartitionController() *PartitionController {
+	return &PartitionController{Param: "spark_sql_shuffle_partitions", Grow: 1.6, Shrink: 0.7}
+}
+
+// Epoch implements tune.EpochController. A change that regressed the epoch
+// objective is reverted and followed by a cooldown, so the controller cannot
+// walk the partition count off a cliff.
+func (p *PartitionController) Epoch(i int, current tune.Config, prev map[string]float64) tune.Config {
+	if i == 0 || prev == nil {
+		return current
+	}
+	if _, ok := current.Space().Param(p.Param); !ok {
+		return current
+	}
+	perf := epochObjective(prev)
+	parts := current.Native(p.Param)
+	defer func() { p.lastPerf = perf }()
+	if p.lastAction != 0 && p.lastPerf > 0 && perf > p.lastPerf*1.05 {
+		// Revert the regressing change.
+		factor := p.Grow
+		if p.lastAction > 0 {
+			factor = 1 / p.Grow
+		} else {
+			factor = 1 / p.Shrink
+		}
+		p.lastAction = 0
+		p.cooldown = 2
+		return current.WithNative(p.Param, parts*factor)
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		p.lastAction = 0
+		return current
+	}
+	switch {
+	case prev["spilled_mb"] > 1:
+		p.lastAction = 1
+		return current.WithNative(p.Param, parts*p.Grow)
+	case prev["spilled_mb"] == 0 && parts > 32:
+		// No spill and plenty of headroom: fewer, larger tasks cut
+		// scheduling overhead.
+		p.lastAction = -1
+		return current.WithNative(p.Param, parts*p.Shrink)
+	}
+	p.lastAction = 0
+	return current
+}
+
+// MemoryManager is the online STMM: between DBMS epochs it grows work
+// memory while spills persist and shrinks it when memory pressure
+// (oversubscription) appears, trading against the buffer pool.
+type MemoryManager struct {
+	// WorkParam and BufferParam name the managed knobs.
+	WorkParam, BufferParam string
+}
+
+// NewMemoryManager returns a manager for the DBMS simulator's knobs.
+func NewMemoryManager() *MemoryManager {
+	return &MemoryManager{WorkParam: "work_mem_mb", BufferParam: "buffer_pool_mb"}
+}
+
+// Epoch implements tune.EpochController.
+func (m *MemoryManager) Epoch(i int, current tune.Config, prev map[string]float64) tune.Config {
+	if i == 0 || prev == nil {
+		return current
+	}
+	cfg := current
+	if prev["mem_oversubscription"] > 1 {
+		// Swapping is catastrophic: shed memory immediately.
+		if _, ok := cfg.Space().Param(m.WorkParam); ok {
+			cfg = cfg.WithNative(m.WorkParam, cfg.Native(m.WorkParam)*0.5)
+		}
+		return cfg
+	}
+	if prev["spilled_queries"] > 0 {
+		if _, ok := cfg.Space().Param(m.WorkParam); ok {
+			cfg = cfg.WithNative(m.WorkParam, cfg.Native(m.WorkParam)*1.8)
+		}
+	} else if prev["buffer_hit_ratio"] < 0.85 {
+		if _, ok := cfg.Space().Param(m.BufferParam); ok {
+			cfg = cfg.WithNative(m.BufferParam, cfg.Native(m.BufferParam)*1.4)
+		}
+	}
+	return cfg
+}
+
+// AdaptiveTuner lifts any tune.EpochController into a tune.Tuner: each
+// budgeted trial is one adaptive run under the controller.
+type AdaptiveTuner struct {
+	Label      string
+	Controller tune.EpochController
+	// Runs per Tune call (default 2).
+	Runs int
+}
+
+// Name implements tune.Tuner.
+func (a *AdaptiveTuner) Name() string { return "adaptive/" + a.Label }
+
+// Tune implements tune.Tuner.
+func (a *AdaptiveTuner) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	at, ok := target.(tune.AdaptiveTarget)
+	if !ok {
+		return nil, fmt.Errorf("adaptive/%s: target %q does not support online reconfiguration", a.Label, target.Name())
+	}
+	runs := a.Runs
+	if runs <= 0 {
+		runs = 2
+	}
+	if runs > b.Trials {
+		runs = b.Trials
+	}
+	s := tune.NewSession(ctx, target, b)
+	start := target.Space().Default()
+	for r := 0; r < runs && !s.Exhausted(); r++ {
+		res := at.RunAdaptive(start, a.Controller)
+		s.RecordExternal(start, res)
+	}
+	return s.Finish(a.Name(), tune.Config{}), nil
+}
+
+// Recommender is the mrMoulder-style recommendation tuner: cold-start from
+// the most similar past session's best configuration, then refine online
+// with a small perturbation search between epochs.
+type Recommender struct {
+	Seed int64
+	Repo *tune.Repository
+	// Runs per Tune call (default 2).
+	Runs int
+}
+
+// NewRecommender returns a repository-backed recommender.
+func NewRecommender(seed int64, repo *tune.Repository) *Recommender {
+	return &Recommender{Seed: seed, Repo: repo, Runs: 2}
+}
+
+// Name implements tune.Tuner.
+func (r *Recommender) Name() string { return "adaptive/recommender" }
+
+// warmStart returns the best configuration of the most similar session, or
+// the default when the repository has nothing usable.
+func (r *Recommender) warmStart(target tune.Target) tune.Config {
+	space := target.Space()
+	def := space.Default()
+	if r.Repo == nil {
+		return def
+	}
+	var features map[string]float64
+	if d, ok := target.(tune.Describer); ok {
+		features = d.WorkloadFeatures()
+	}
+	for _, sess := range r.Repo.SimilarSessions(system(target.Name()), features) {
+		if len(sess.ParamNames) != space.Dim() {
+			continue
+		}
+		if at := sess.BestTrial(); at >= 0 {
+			return space.FromVector(sess.Trials[at].Vector)
+		}
+	}
+	return def
+}
+
+func system(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// Tune implements tune.Tuner. On adaptive targets it refines the warm start
+// online with COLT's controller; on plain targets it evaluates the warm
+// start directly (recommendation without refinement).
+func (r *Recommender) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	start := r.warmStart(target)
+	s := tune.NewSession(ctx, target, b)
+	at, adaptive := target.(tune.AdaptiveTarget)
+	if !adaptive {
+		if b.Trials > 0 {
+			if _, err := s.Run(start); err != nil && err != tune.ErrBudgetExhausted {
+				return nil, err
+			}
+		}
+		return s.Finish(r.Name(), start), nil
+	}
+	runs := r.Runs
+	if runs <= 0 {
+		runs = 2
+	}
+	if runs > b.Trials {
+		runs = b.Trials
+	}
+	cur := start
+	for i := 0; i < runs && !s.Exhausted(); i++ {
+		ctl := &controller{
+			rng:        rand.New(rand.NewSource(r.Seed + int64(i)*104729)),
+			radius:     0.08, // refine, don't wander: the start is informed
+			switchCost: 0.08,
+			epochs:     at.Epochs(),
+			space:      target.Space(),
+		}
+		res := at.RunAdaptive(cur, ctl)
+		s.RecordExternal(cur, res)
+		cur = ctl.best
+	}
+	return s.Finish(r.Name(), cur), nil
+}
+
+var (
+	_ tune.EpochController = (*PartitionController)(nil)
+	_ tune.EpochController = (*MemoryManager)(nil)
+	_ tune.Tuner           = (*AdaptiveTuner)(nil)
+	_ tune.Tuner           = (*Recommender)(nil)
+)

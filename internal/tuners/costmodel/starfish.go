@@ -1,0 +1,158 @@
+package costmodel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx/opt"
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/mapreduce"
+	"repro/internal/tune"
+	"repro/internal/workload"
+)
+
+// Starfish is the analytical MapReduce what-if engine: given a job profile
+// (data-flow statistics that are configuration-independent) and a cluster
+// description, it predicts phase times for any configuration with closed
+// formulas, then searches the model — not the cluster — for the best
+// configuration. Deliberate simplifications versus the simulator: it assumes
+// a homogeneous cluster (the first node's spec), perfect waves with no
+// stragglers or speculative re-execution, and idealized shuffle overlap.
+// Those assumptions are exactly the weaknesses Table 1 lists for cost
+// modeling, and the heterogeneity experiment exposes them.
+type Starfish struct {
+	// SearchBudget is the number of model evaluations (default 3000).
+	SearchBudget int
+	// Seed drives the model search.
+	Seed int64
+}
+
+// NewStarfish returns a Starfish tuner with defaults.
+func NewStarfish(seed int64) *Starfish { return &Starfish{SearchBudget: 3000, Seed: seed} }
+
+// Name implements tune.Tuner.
+func (t *Starfish) Name() string { return "costmodel/starfish" }
+
+// Predict estimates the job runtime under cfg analytically.
+func Predict(job *workload.MRJob, cl *cluster.Cluster, cfg tune.Config) float64 {
+	node := cl.Nodes[0]
+	nNodes := float64(len(cl.Nodes))
+	clock := node.ClockGHz
+
+	reduceTasks := float64(cfg.Int(mapreduce.ReduceTasks))
+	sortMB := cfg.Float(mapreduce.IOSortMB)
+	spillPct := cfg.Float(mapreduce.SpillPercent)
+	sortFactor := math.Max(2, float64(cfg.Int(mapreduce.SortFactor)))
+	mapCodec := cfg.Str(mapreduce.MapCompression)
+	combiner := cfg.Bool(mapreduce.Combiner)
+	mapSlots := float64(cfg.Int(mapreduce.MapSlots))
+	redSlots := float64(cfg.Int(mapreduce.RedSlots))
+	heap := cfg.Float(mapreduce.JVMHeapMB)
+	jvmReuse := cfg.Bool(mapreduce.JVMReuse)
+	splitMB := cfg.Float(mapreduce.SplitMB)
+
+	// Infeasible regions the model knows about.
+	if sortMB > 0.7*heap || heap*(mapSlots+redSlots) > node.RAMMB*0.9 {
+		return math.Inf(1)
+	}
+
+	codecRatio, codecCPU := 1.0, 0.0
+	switch mapCodec {
+	case "snappy":
+		codecRatio, codecCPU = 0.50, 0.004
+	case "gzip":
+		codecRatio, codecCPU = 0.35, 0.018
+	}
+	combFactor, combCPU := 1.0, 0.0
+	if combiner && job.CombinerGain > 0 {
+		combFactor = 1 - job.CombinerGain
+		combCPU = 0.004
+	}
+
+	mapTasks := math.Max(1, math.Ceil(job.InputMB/splitMB))
+	cpuShare := math.Min(1, float64(node.Cores)/mapSlots)
+	diskPerSlot := node.DiskMBps / mapSlots
+	jvmStart := 1.2
+	if jvmReuse {
+		jvmStart = 0.15
+	}
+
+	inPerMap := job.InputMB / mapTasks
+	outPerMap := inPerMap * job.MapSelectivity
+	numSpills := math.Max(1, math.Ceil(outPerMap/(sortMB*spillPct)))
+	mergePasses := 0.0
+	if numSpills > 1 {
+		mergePasses = math.Ceil(math.Log(numSpills) / math.Log(sortFactor))
+	}
+	spillMB := outPerMap * combFactor * codecRatio * (1 + 2*mergePasses)
+	mapTask := jvmStart + inPerMap/diskPerSlot +
+		inPerMap*job.MapCPUPerMB/(clock*cpuShare) +
+		outPerMap*(combCPU+codecCPU)/(clock*cpuShare) +
+		outPerMap*0.002*mergePasses/(clock*cpuShare) +
+		spillMB/diskPerSlot
+	mapWaves := math.Ceil(mapTasks / (nNodes * mapSlots))
+	mapPhase := mapTask * mapWaves
+
+	shuffleMB := job.InputMB * job.MapSelectivity * combFactor * codecRatio
+	shuffleBW := math.Min(cl.BisectionMBps, math.Min(reduceTasks, nNodes*redSlots)*node.NetMBps)
+	shufflePhase := shuffleMB / math.Max(shuffleBW, 1) * 0.5 // idealized overlap
+
+	redCPUShare := math.Min(1, float64(node.Cores)/redSlots)
+	diskPerRed := node.DiskMBps / redSlots
+	totalReduceIn := job.InputMB * job.MapSelectivity * combFactor
+	inPerRed := totalReduceIn / reduceTasks
+	// The model knows about average skew amplification but not the tail.
+	skewAmp := 1 + job.SkewTheta
+	extraMerge := 0.0
+	if mapTasks > sortFactor {
+		extraMerge = math.Ceil(math.Log(mapTasks)/math.Log(sortFactor)) - 1
+	}
+	out := inPerRed * job.ReduceSelectivity
+	redTask := jvmStart + inPerRed*codecRatio*2*extraMerge/diskPerRed +
+		inPerRed*job.ReduceCPUPerMB/(clock*redCPUShare) +
+		out*3/diskPerRed + out*2/(node.NetMBps/redSlots)
+	redWaves := math.Ceil(reduceTasks / (nNodes * redSlots))
+	redPhase := redTask * redWaves * skewAmp
+
+	return mapPhase + shufflePhase + redPhase + 4
+}
+
+// Tune implements tune.Tuner: optimize the analytical model, then spend one
+// real run (if budgeted) verifying the winner.
+func (t *Starfish) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	h, ok := target.(*mapreduce.Hadoop)
+	if !ok {
+		return nil, fmt.Errorf("costmodel/starfish: target %q is not a Hadoop deployment", target.Name())
+	}
+	job, cl := h.Job(), h.Cluster()
+	space := target.Space()
+	budget := t.SearchBudget
+	if budget <= 0 {
+		budget = 3000
+	}
+	rng := rand.New(rand.NewSource(t.Seed + 17))
+	best := opt.RecursiveRandomSearch(func(x []float64) float64 {
+		return Predict(job, cl, space.FromVector(x))
+	}, space.Dim(), budget, rng)
+	rec := space.FromVector(best.X)
+
+	s := tune.NewSession(ctx, target, b)
+	if b.Trials > 0 {
+		if res, err := s.Run(rec); err == nil && res.Failed {
+			// The model recommended an infeasible point: repair by halving
+			// memory demands and retry once.
+			repaired := rec.WithNative(mapreduce.IOSortMB, rec.Float(mapreduce.IOSortMB)/2).
+				WithNative(mapreduce.MapSlots, float64(rec.Int(mapreduce.MapSlots))/2)
+			if _, err := s.Run(repaired); err != nil && err != tune.ErrBudgetExhausted {
+				return nil, err
+			}
+		} else if err != nil && err != tune.ErrBudgetExhausted {
+			return nil, err
+		}
+	}
+	return s.Finish(t.Name(), rec), nil
+}
+
+var _ tune.Tuner = (*Starfish)(nil)

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/mathx/nn"
+	"repro/internal/mathx/opt"
+	"repro/internal/mathx/sample"
+	"repro/internal/tune"
+)
+
+// NeuralTuner reproduces the Rodd & Kulkarni adaptive neural tuner: an MLP
+// learns the configuration → runtime surface from observations; each step
+// searches the surrogate for its predicted minimum, evaluates it for real,
+// and retrains. An ε-greedy random trial keeps the surrogate from collapsing
+// onto its own blind spots.
+type NeuralTuner struct {
+	Seed int64
+	// Hidden is the hidden layer width (default 24).
+	Hidden int
+	// Epsilon is the random-exploration probability (default 0.2).
+	Epsilon float64
+	// InitObs seeds the surrogate (default 2·dim, at least 6).
+	InitObs int
+}
+
+// NewNeuralTuner returns a neural tuner with defaults.
+func NewNeuralTuner(seed int64) *NeuralTuner {
+	return &NeuralTuner{Seed: seed, Hidden: 24, Epsilon: 0.2}
+}
+
+// Name implements tune.Tuner.
+func (t *NeuralTuner) Name() string { return "ml/neural" }
+
+// Tune implements tune.Tuner.
+func (t *NeuralTuner) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	space := target.Space()
+	d := space.Dim()
+	rng := rand.New(rand.NewSource(t.Seed))
+	s := tune.NewSession(ctx, target, b)
+
+	initN := t.InitObs
+	if initN <= 0 {
+		initN = 2 * d
+		if initN < 6 {
+			initN = 6
+		}
+		if initN > b.Trials/2 && b.Trials >= 4 {
+			initN = b.Trials / 2
+		}
+	}
+	var xs [][]float64
+	var ys []float64
+	for _, p := range sample.LatinHypercube(initN, d, rng) {
+		if s.Exhausted() {
+			break
+		}
+		res, err := s.Run(space.FromVector(p))
+		if err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+		xs = append(xs, p)
+		ys = append(ys, res.Objective())
+	}
+
+	hidden := t.Hidden
+	if hidden <= 0 {
+		hidden = 24
+	}
+	eps := t.Epsilon
+	if eps <= 0 {
+		eps = 0.2
+	}
+	for !s.Exhausted() {
+		var x []float64
+		if len(xs) >= 4 && rng.Float64() >= eps {
+			net := nn.NewMLP(rand.New(rand.NewSource(t.Seed+int64(len(xs)))), d, hidden, hidden, 1)
+			net.Train(xs, ys, 150, 0.01)
+			best := opt.RecursiveRandomSearch(func(p []float64) float64 {
+				return net.Predict(p)
+			}, d, 600, rng)
+			x = best.X
+		} else {
+			x = make([]float64, d)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+		}
+		res, err := s.Run(space.FromVector(x))
+		if err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+		xs = append(xs, x)
+		ys = append(ys, res.Objective())
+	}
+	return s.Finish(t.Name(), tune.Config{}), nil
+}
+
+var _ tune.Tuner = (*NeuralTuner)(nil)

@@ -1,0 +1,415 @@
+// Package ml implements the survey's fifth category: black-box machine
+// learning tuners that treat the system as a whole and learn from observed
+// performance.
+//
+//   - OtterTune (Van Aken et al., SIGMOD 2017): the full pipeline — runtime
+//     metric dimensionality reduction (PCA + k-means pruning), knob ranking
+//     by Lasso regularization paths, workload mapping against a repository
+//     of past tuning sessions, and Gaussian-process recommendation reusing
+//     the mapped workload's data.
+//   - NeuralTuner (Rodd & Kulkarni, IJCSIS 2010): an MLP response surrogate
+//     searched for promising configurations, retrained as observations
+//     accumulate.
+//
+// ML tuners capture arbitrary system dynamics without internals knowledge —
+// but they need data: the Table-1 experiment shows the cold-start penalty
+// without a repository and the transfer gain with one.
+package ml
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mathx/cluster"
+	"repro/internal/mathx/gp"
+	"repro/internal/mathx/lasso"
+	"repro/internal/mathx/opt"
+	"repro/internal/mathx/sample"
+	"repro/internal/tune"
+)
+
+// OtterTune is the repository-driven GP tuner.
+type OtterTune struct {
+	Seed int64
+	// Repo is the corpus of past sessions; nil degrades to cold-start GP.
+	Repo *tune.Repository
+	// TopKnobs bounds the knobs actively tuned after Lasso ranking
+	// (default 8); remaining knobs stay at their defaults.
+	TopKnobs int
+	// PrunedMetrics is the metric count kept after pruning (default 6).
+	PrunedMetrics int
+	// InitObs is the number of initial observations on the new target
+	// (default 5).
+	InitObs int
+
+	// LastKnobRanking records the most recent Lasso knob ranking.
+	LastKnobRanking []string
+	// LastPrunedMetrics records the metric names kept by pruning.
+	LastPrunedMetrics []string
+	// LastMappedWorkload records the repository workload the target was
+	// mapped to ("" when no repository).
+	LastMappedWorkload string
+}
+
+// NewOtterTune returns an OtterTune instance using repo (which may be nil).
+func NewOtterTune(seed int64, repo *tune.Repository) *OtterTune {
+	return &OtterTune{Seed: seed, Repo: repo, TopKnobs: 8, PrunedMetrics: 6, InitObs: 5}
+}
+
+// Name implements tune.Tuner.
+func (t *OtterTune) Name() string { return "ml/ottertune" }
+
+// system extracts the repository system key from a target name
+// ("dbms/tpch" → "dbms").
+func system(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// metricNames returns the sorted union of metric keys across sessions.
+func metricNames(sessions []tune.SessionRecord) []string {
+	set := map[string]struct{}{}
+	for _, s := range sessions {
+		for _, tr := range s.Trials {
+			for k := range tr.Metrics {
+				set[k] = struct{}{}
+			}
+		}
+	}
+	names := make([]string, 0, len(set))
+	for k := range set {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pruneMetrics reproduces OtterTune's metric reduction: project the
+// (trial × metric) matrix onto its principal components, then k-means the
+// metrics in loading space and keep the metric nearest each center.
+func pruneMetrics(sessions []tune.SessionRecord, keep int, rng *rand.Rand) []string {
+	names := metricNames(sessions)
+	if len(names) <= keep {
+		return names
+	}
+	var rows [][]float64
+	for _, s := range sessions {
+		for _, tr := range s.Trials {
+			row := make([]float64, len(names))
+			for i, n := range names {
+				row[i] = tr.Metrics[n]
+			}
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) < 4 {
+		return names[:keep]
+	}
+	// Standardize columns so scale does not dominate the PCA.
+	for j := range names {
+		var mean, sd float64
+		for _, r := range rows {
+			mean += r[j]
+		}
+		mean /= float64(len(rows))
+		for _, r := range rows {
+			d := r[j] - mean
+			sd += d * d
+		}
+		sd = math.Sqrt(sd / float64(len(rows)))
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for _, r := range rows {
+			r[j] = (r[j] - mean) / sd
+		}
+	}
+	comps, _ := cluster.PCA(rows, int(math.Min(4, float64(len(names)))), 60, rng)
+	// Loading vector per metric: its coordinates across components.
+	loadings := make([][]float64, len(names))
+	for j := range names {
+		l := make([]float64, len(comps))
+		for c, comp := range comps {
+			l[c] = comp[j]
+		}
+		loadings[j] = l
+	}
+	km := cluster.KMeans(loadings, keep, 50, rng)
+	reps := km.RepresentativeNearestCenter(loadings)
+	var out []string
+	for _, r := range reps {
+		if r >= 0 {
+			out = append(out, names[r])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rankKnobs pools (config, objective) pairs across sessions and ranks knobs
+// by Lasso path activation order.
+func rankKnobs(space *tune.Space, sessions []tune.SessionRecord) []string {
+	var xs [][]float64
+	var ys []float64
+	for _, s := range sessions {
+		if len(s.ParamNames) != space.Dim() {
+			continue
+		}
+		// Standardize objective within each session: absolute runtimes are
+		// workload-specific, the shape is what transfers.
+		var vals []float64
+		for _, tr := range s.Trials {
+			vals = append(vals, tr.Time)
+		}
+		mean, sd := meanStd(vals)
+		for _, tr := range s.Trials {
+			xs = append(xs, tr.Vector)
+			ys = append(ys, (tr.Time-mean)/sd)
+		}
+	}
+	names := space.Names()
+	if len(xs) < 8 {
+		return space.ByImpact()
+	}
+	order := lasso.PathRank(xs, ys, 12)
+	out := make([]string, 0, len(order))
+	for _, j := range order {
+		out = append(out, names[j])
+	}
+	return out
+}
+
+// medianIQR returns robust location/scale estimates (median, IQR/1.35, the
+// normal-consistent robust sd).
+func medianIQR(xs []float64) (med, sd float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	med = sorted[len(sorted)/2]
+	q1 := sorted[len(sorted)/4]
+	q3 := sorted[(3*len(sorted))/4]
+	sd = (q3 - q1) / 1.35
+	if sd < 1e-12 {
+		sd = 1
+	}
+	return med, sd
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	return mean, sd
+}
+
+// mapWorkload picks the repository session whose metric signature is nearest
+// the target's observed signature over the pruned metrics.
+func mapWorkload(sessions []tune.SessionRecord, pruned []string, observed map[string]float64) int {
+	bestAt, bestD := -1, math.Inf(1)
+	for i, s := range sessions {
+		sig := sessionSignature(s, pruned)
+		var d float64
+		for _, m := range pruned {
+			// Compare on log scale: metric magnitudes span decades.
+			a := math.Log1p(math.Abs(sig[m]))
+			b := math.Log1p(math.Abs(observed[m]))
+			d += (a - b) * (a - b)
+		}
+		// Slightly prefer data-rich sessions: more observations transfer
+		// a more trustworthy surface.
+		d /= math.Log(math.E + float64(len(s.Trials)))
+		if d < bestD {
+			bestD, bestAt = d, i
+		}
+	}
+	return bestAt
+}
+
+func sessionSignature(s tune.SessionRecord, pruned []string) map[string]float64 {
+	sig := make(map[string]float64, len(pruned))
+	if len(s.Trials) == 0 {
+		return sig
+	}
+	for _, m := range pruned {
+		var sum float64
+		for _, tr := range s.Trials {
+			sum += tr.Metrics[m]
+		}
+		sig[m] = sum / float64(len(s.Trials))
+	}
+	return sig
+}
+
+// Tune implements tune.Tuner.
+func (t *OtterTune) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	space := target.Space()
+	d := space.Dim()
+	rng := rand.New(rand.NewSource(t.Seed))
+	s := tune.NewSession(ctx, target, b)
+
+	var sessions []tune.SessionRecord
+	if t.Repo != nil {
+		sessions = t.Repo.ForSystem(system(target.Name()))
+	}
+
+	// Offline phase: metric pruning + knob ranking from the repository.
+	keep := t.PrunedMetrics
+	if keep <= 0 {
+		keep = 6
+	}
+	pruned := pruneMetrics(sessions, keep, rng)
+	t.LastPrunedMetrics = pruned
+	ranking := rankKnobs(space, sessions)
+	t.LastKnobRanking = ranking
+	topK := t.TopKnobs
+	if topK <= 0 {
+		topK = 8
+	}
+	if topK > len(ranking) {
+		topK = len(ranking)
+	}
+	active := make([]int, topK)
+	for i, n := range ranking[:topK] {
+		active[i] = space.IndexOf(n)
+	}
+
+	// Initial observations on the target.
+	initN := t.InitObs
+	if initN <= 0 {
+		initN = 5
+	}
+	var xs [][]float64
+	var ys []float64
+	observed := map[string]float64{}
+	nObs := 0.0
+	addObs := func(x []float64, res tune.Result) {
+		xs = append(xs, x)
+		ys = append(ys, res.Objective())
+		for k, v := range res.Metrics {
+			observed[k] += v
+		}
+		nObs++
+	}
+	init := sample.LatinHypercube(initN, d, rng)
+	init = append([][]float64{space.Default().Vector()}, init...)
+	for _, p := range init {
+		if s.Exhausted() {
+			break
+		}
+		res, err := s.Run(space.FromVector(p))
+		if err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+		addObs(p, res)
+	}
+
+	// Workload mapping: borrow the nearest past workload's observations.
+	var mappedX [][]float64
+	var mappedY []float64
+	if len(sessions) > 0 && nObs > 0 {
+		avg := make(map[string]float64, len(observed))
+		for k, v := range observed {
+			avg[k] = v / nObs
+		}
+		if at := mapWorkload(sessions, pruned, avg); at >= 0 {
+			sess := sessions[at]
+			t.LastMappedWorkload = sess.Workload
+			if len(sess.ParamNames) == d {
+				var vals []float64
+				for _, tr := range sess.Trials {
+					vals = append(vals, tr.Time)
+				}
+				// Rescale the mapped session's surface to the target's
+				// observed level so the GP sees one coherent objective.
+				// Median/IQR scaling keeps failure-penalized outliers in
+				// either sample from distorting the transfer.
+				tm, tsd := medianIQR(vals)
+				om, osd := medianIQR(ys)
+				for _, tr := range sess.Trials {
+					mappedX = append(mappedX, tr.Vector)
+					mappedY = append(mappedY, om+(tr.Time-tm)/tsd*osd)
+				}
+			}
+		}
+	}
+
+	// Online loop: GP over mapped + own data, EI over the active knobs.
+	for !s.Exhausted() {
+		gx := append(append([][]float64(nil), mappedX...), xs...)
+		gy := append(append([]float64(nil), mappedY...), ys...)
+		model := gp.New(gp.Matern52)
+		if err := model.Fit(gx, gy, len(gx) <= 80); err != nil {
+			cfg := space.Random(rng)
+			res, rerr := s.Run(cfg)
+			if rerr != nil {
+				if rerr == tune.ErrBudgetExhausted {
+					break
+				}
+				return nil, rerr
+			}
+			addObs(cfg.Vector(), res)
+			continue
+		}
+		bestCfg, bestRes := s.Best()
+		base := bestCfg.Vector()
+		incumbent := bestRes.Objective()
+		next := opt.MultiStart(func(sub []float64) float64 {
+			x := append([]float64(nil), base...)
+			for i, v := range sub {
+				x[active[i]] = v
+			}
+			return -model.ExpectedImprovement(x, incumbent)
+		}, topK, 6, 50, [][]float64{subVector(base, active)}, rng)
+		x := append([]float64(nil), base...)
+		for i, v := range next.X {
+			x[active[i]] = v
+		}
+		if next.F >= 0 {
+			for _, j := range active {
+				x[j] = rng.Float64()
+			}
+		}
+		res, err := s.Run(space.FromVector(x))
+		if err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+		addObs(x, res)
+	}
+	return s.Finish(t.Name(), tune.Config{}), nil
+}
+
+func subVector(x []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+var _ tune.Tuner = (*OtterTune)(nil)

@@ -1,0 +1,106 @@
+package simulation
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx/opt"
+	"repro/internal/tune"
+)
+
+// ScaledProxy is the second classic simulation-based methodology: search a
+// scaled-down replica of the system (smaller input, noise-free simulation —
+// an MRSim/MRPerf-style stand-in) and carry the winning configurations to
+// the full-scale system for verification. Proxy executions are simulations,
+// so they cost no trial budget; only the verification runs do. The
+// methodology inherits the category's weakness — effects that only appear at
+// scale (extra task waves, shuffle saturation, memory pressure) are
+// invisible at proxy scale.
+type ScaledProxy struct {
+	// Proxy is the scaled-down replica sharing the target's space.
+	Proxy tune.Target
+	// SearchBudget is the number of proxy evaluations (default 400).
+	SearchBudget int
+	// Verify is how many top proxy candidates to verify at full scale
+	// (default 3).
+	Verify int
+	Seed   int64
+}
+
+// NewScaledProxy returns a scaled-proxy tuner over the given replica.
+func NewScaledProxy(proxy tune.Target, seed int64) *ScaledProxy {
+	return &ScaledProxy{Proxy: proxy, SearchBudget: 400, Verify: 3, Seed: seed}
+}
+
+// Name implements tune.Tuner.
+func (t *ScaledProxy) Name() string { return "simulation/scaled-proxy" }
+
+// Tune implements tune.Tuner.
+func (t *ScaledProxy) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	space := target.Space()
+	rng := rand.New(rand.NewSource(t.Seed + 7))
+	budget := t.SearchBudget
+	if budget <= 0 {
+		budget = 400
+	}
+	// Keep the best few distinct proxy candidates.
+	type cand struct {
+		x []float64
+		f float64
+	}
+	verify := t.Verify
+	if verify <= 0 {
+		verify = 3
+	}
+	var top []cand
+	consider := func(x []float64, f float64) {
+		for i, c := range top {
+			if distance(c.x, x) < 0.05 {
+				if f < c.f {
+					top[i] = cand{append([]float64(nil), x...), f}
+				}
+				return
+			}
+		}
+		top = append(top, cand{append([]float64(nil), x...), f})
+		// Insertion sort by f; trim.
+		for i := len(top) - 1; i > 0 && top[i].f < top[i-1].f; i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+		if len(top) > verify {
+			top = top[:verify]
+		}
+	}
+	opt.RecursiveRandomSearch(func(x []float64) float64 {
+		res := t.Proxy.Run(space.FromVector(x))
+		f := res.Objective()
+		consider(x, f)
+		return f
+	}, space.Dim(), budget, rng)
+
+	s := tune.NewSession(ctx, target, b)
+	for _, c := range top {
+		if s.Exhausted() {
+			break
+		}
+		if _, err := s.Run(space.FromVector(c.x)); err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+	}
+	return s.Finish(t.Name(), tune.Config{}), nil
+}
+
+func distance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+var _ tune.Tuner = (*ScaledProxy)(nil)

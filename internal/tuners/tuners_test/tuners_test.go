@@ -1,0 +1,288 @@
+// Package tuners_test exercises every tuning category end-to-end against the
+// simulated systems: budget discipline, improvement over defaults, and each
+// approach's characteristic behaviours.
+package tuners_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/dbms"
+	"repro/internal/sysmodel/mapreduce"
+	"repro/internal/sysmodel/spark"
+	"repro/internal/tune"
+	"repro/internal/tuners/adaptive"
+	"repro/internal/tuners/costmodel"
+	"repro/internal/tuners/experiment"
+	"repro/internal/tuners/ml"
+	"repro/internal/tuners/rulebased"
+	"repro/internal/tuners/simulation"
+	"repro/internal/workload"
+)
+
+func dbmsTarget(seed int64) *dbms.DBMS {
+	return dbms.New(cluster.CommodityNode(), workload.TPCHLike(3), seed)
+}
+
+func hadoopTarget(seed int64) *mapreduce.Hadoop {
+	return mapreduce.New(cluster.Commodity(8), workload.TeraSort(8), seed)
+}
+
+func sparkTarget(seed int64) *spark.Spark {
+	return spark.New(cluster.Commodity(8), workload.PageRank(1, 4), seed)
+}
+
+// requireImproves runs the tuner and asserts it beats the default by at
+// least factor, within budget.
+func requireImproves(t *testing.T, tuner tune.Tuner, target tune.Target, budget int, factor float64) *tune.TuningResult {
+	t.Helper()
+	def := target.Run(target.Space().Default())
+	r, err := tuner.Tune(context.Background(), target, tune.Budget{Trials: budget})
+	if err != nil {
+		t.Fatalf("%s: %v", tuner.Name(), err)
+	}
+	if len(r.Trials) > budget {
+		t.Fatalf("%s: used %d trials over budget %d", tuner.Name(), len(r.Trials), budget)
+	}
+	best := r.BestResult
+	if len(r.Trials) == 0 {
+		best = target.Run(r.Best)
+	}
+	if best.Time*factor > def.Time {
+		t.Errorf("%s: best %.1fs does not improve default %.1fs by %.1fx",
+			tuner.Name(), best.Time, def.Time, factor)
+	}
+	return r
+}
+
+func TestRuleTunersImprove(t *testing.T) {
+	requireImproves(t, rulebased.NewTuner(rulebased.DBMSRules()), dbmsTarget(1), 2, 1.3)
+	requireImproves(t, rulebased.NewTuner(rulebased.HadoopRules()), hadoopTarget(2), 2, 3)
+	requireImproves(t, rulebased.NewTuner(rulebased.SparkRules()), sparkTarget(3), 2, 3)
+}
+
+func TestNavigatorImproves(t *testing.T) {
+	requireImproves(t, rulebased.NewNavigator(), dbmsTarget(4), 25, 1.5)
+}
+
+func TestCostModelsImprove(t *testing.T) {
+	requireImproves(t, costmodel.NewSTMM(), dbmsTarget(5), 2, 1.3)
+	requireImproves(t, costmodel.NewStarfish(6), hadoopTarget(6), 2, 3)
+	requireImproves(t, costmodel.NewErnest(), sparkTarget(7), 8, 1.5)
+}
+
+func TestCostModelsRejectWrongTargets(t *testing.T) {
+	if _, err := costmodel.NewStarfish(1).Tune(context.Background(), dbmsTarget(8), tune.Budget{Trials: 2}); err == nil {
+		t.Error("starfish should reject non-Hadoop targets")
+	}
+	if _, err := costmodel.NewErnest().Tune(context.Background(), dbmsTarget(9), tune.Budget{Trials: 8}); err == nil {
+		t.Error("ernest should reject non-Spark targets")
+	}
+}
+
+func TestSimulationTunersImprove(t *testing.T) {
+	requireImproves(t, simulation.NewTraceWhatIf(10), dbmsTarget(10), 3, 1.2)
+	requireImproves(t, simulation.NewADDM(), dbmsTarget(11), 20, 1.3)
+	proxy := mapreduce.New(cluster.Commodity(8), workload.TeraSort(1), 99)
+	proxy.NoiseStd = 0.001
+	requireImproves(t, simulation.NewScaledProxy(proxy, 12), hadoopTarget(12), 4, 3)
+}
+
+func TestExperimentTunersImprove(t *testing.T) {
+	requireImproves(t, &experiment.Random{Seed: 13}, dbmsTarget(13), 25, 2)
+	requireImproves(t, &experiment.Grid{TopK: 3}, dbmsTarget(14), 25, 1.2)
+	requireImproves(t, &experiment.RRS{Seed: 15}, dbmsTarget(15), 25, 2)
+	requireImproves(t, experiment.NewSARD(16), dbmsTarget(16), 40, 2)
+	requireImproves(t, experiment.NewAdaptiveSampling(17), dbmsTarget(17), 25, 2)
+	requireImproves(t, experiment.NewITuned(18), dbmsTarget(18), 25, 2)
+}
+
+func TestSARDScreeningRanksEffectiveKnobs(t *testing.T) {
+	sard := experiment.NewSARD(19)
+	ranking, _, err := sard.Screen(context.Background(), dbmsTarget(19), tune.Budget{Trials: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking) != dbmsTarget(19).Space().Dim() {
+		t.Fatalf("ranking covers %d of %d params", len(ranking), dbmsTarget(19).Space().Dim())
+	}
+	// The known heavyweight knobs should rank above the known featherweight.
+	pos := map[string]int{}
+	for i, n := range ranking {
+		pos[n] = i
+	}
+	if pos[dbms.WorkMemMB] > pos[dbms.LogLevel] && pos[dbms.BufferPoolMB] > pos[dbms.LogLevel] {
+		t.Errorf("screening ranked log_level above both memory knobs: %v", ranking)
+	}
+	if len(sard.LastEffects) == 0 {
+		t.Error("effects should be recorded")
+	}
+}
+
+func TestMLTunersImprove(t *testing.T) {
+	requireImproves(t, ml.NewOtterTune(20, nil), dbmsTarget(20), 25, 2)
+	requireImproves(t, ml.NewNeuralTuner(21), dbmsTarget(21), 25, 2)
+}
+
+func TestOtterTuneUsesRepository(t *testing.T) {
+	// Build a repository from tpch sessions, then tune mixed.
+	repo := &tune.Repository{}
+	past := dbms.New(cluster.CommodityNode(), workload.TPCHLike(3), 100)
+	it := experiment.NewITuned(100)
+	r, err := it.Tune(context.Background(), past, tune.Budget{Trials: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.AddResult("dbms", "tpch", past.WorkloadFeatures(), r)
+
+	target := dbms.New(cluster.CommodityNode(), workload.MixedDB(2), 101)
+	ot := ml.NewOtterTune(101, repo)
+	if _, err := ot.Tune(context.Background(), target, tune.Budget{Trials: 15}); err != nil {
+		t.Fatal(err)
+	}
+	if ot.LastMappedWorkload == "" {
+		t.Error("workload mapping should have selected a session")
+	}
+	if len(ot.LastKnobRanking) == 0 || len(ot.LastPrunedMetrics) == 0 {
+		t.Error("pipeline stages should record their outputs")
+	}
+}
+
+func TestAdaptiveTunersRun(t *testing.T) {
+	colt := adaptive.NewCOLT(22)
+	colt.Runs = 3
+	r := requireImproves(t, colt, dbmsTarget(22), 5, 0.5) // adaptive pays online cost
+	if len(r.Trials) != 3 {
+		t.Errorf("COLT should record one trial per adaptive run, got %d", len(r.Trials))
+	}
+	// Across runs the online tuner should improve (the last run benefits
+	// from the previous run's converged configuration).
+	first, last := r.Trials[0].Result.Time, r.Trials[len(r.Trials)-1].Result.Time
+	if last > first*1.15 {
+		t.Errorf("online runs regressed: %v → %v", first, last)
+	}
+}
+
+func TestAdaptiveRejectsPlainTargets(t *testing.T) {
+	// Hadoop does not implement AdaptiveTarget.
+	if _, err := adaptive.NewCOLT(23).Tune(context.Background(), hadoopTarget(23), tune.Budget{Trials: 2}); err == nil {
+		t.Error("COLT should reject non-adaptive targets")
+	}
+	at := &adaptive.AdaptiveTuner{Label: "x", Controller: adaptive.NewMemoryManager()}
+	if _, err := at.Tune(context.Background(), hadoopTarget(24), tune.Budget{Trials: 2}); err == nil {
+		t.Error("AdaptiveTuner should reject non-adaptive targets")
+	}
+}
+
+func TestMemoryManagerReducesSpills(t *testing.T) {
+	target := dbmsTarget(25)
+	res := target.RunAdaptive(target.Space().Default(), adaptive.NewMemoryManager())
+	// By the end the manager should have grown work_mem enough that spills
+	// fell versus a static default run.
+	static := target.Run(target.Space().Default())
+	if res.Metrics["spilled_queries"] >= static.Metrics["spilled_queries"] {
+		t.Errorf("memory manager should reduce spills: %v vs %v",
+			res.Metrics["spilled_queries"], static.Metrics["spilled_queries"])
+	}
+}
+
+func TestRecommenderWarmStart(t *testing.T) {
+	repo := &tune.Repository{}
+	past := hadoopTarget(26)
+	it := experiment.NewITuned(26)
+	r, err := it.Tune(context.Background(), past, tune.Budget{Trials: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.AddResult("hadoop", "terasort", past.WorkloadFeatures(), r)
+
+	rec := adaptive.NewRecommender(27, repo)
+	fresh := hadoopTarget(27)
+	rr, err := rec.Tune(context.Background(), fresh, tune.Budget{Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := fresh.Run(fresh.Space().Default())
+	if rr.BestResult.Time >= def.Time {
+		t.Errorf("warm start (%v) should beat default (%v)", rr.BestResult.Time, def.Time)
+	}
+}
+
+func TestSPEXCheckerDetectsAndRepairs(t *testing.T) {
+	target := dbmsTarget(28)
+	checker := rulebased.DBMSChecker()
+	specs := target.Specs()
+	bad := target.Space().Default().
+		With(dbms.BufferPoolMB, 15000.0).
+		With(dbms.WorkMemMB, 1024.0)
+	violations := checker.Validate(bad, specs)
+	if len(violations) == 0 {
+		t.Fatal("checker should flag memory oversubscription")
+	}
+	repaired := checker.Repair(bad, specs)
+	if len(checker.Validate(repaired, specs)) != 0 {
+		t.Errorf("repair left violations: %v", checker.Validate(repaired, specs))
+	}
+	if res := target.Run(repaired); res.Failed {
+		t.Errorf("repaired config still fails: %s", res.FailReason)
+	}
+}
+
+func TestHadoopCheckerConstraints(t *testing.T) {
+	checker := rulebased.HadoopChecker()
+	target := hadoopTarget(29)
+	bad := target.Space().Default().With(mapreduce.IOSortMB, 800.0).With(mapreduce.JVMHeapMB, 300.0)
+	if len(checker.Validate(bad, target.Specs())) == 0 {
+		t.Error("checker should flag sort buffer exceeding heap")
+	}
+	repaired := checker.Repair(bad, target.Specs())
+	if res := target.Run(repaired); res.Failed {
+		t.Errorf("repaired config still fails: %s", res.FailReason)
+	}
+}
+
+func TestCheckerAndBookLookup(t *testing.T) {
+	for _, name := range []string{"dbms/x", "hadoop/x", "spark/x"} {
+		if _, err := rulebased.BookFor(name); err != nil {
+			t.Errorf("BookFor(%q): %v", name, err)
+		}
+		if _, err := rulebased.CheckerFor(name); err != nil {
+			t.Errorf("CheckerFor(%q): %v", name, err)
+		}
+	}
+	if _, err := rulebased.BookFor("nosuch/x"); err == nil {
+		t.Error("unknown system should error")
+	}
+}
+
+func TestStarfishPredictTracksSimulator(t *testing.T) {
+	target := hadoopTarget(30)
+	target.NoiseStd = 0.001
+	space := target.Space()
+	cfg := space.Default().
+		With(mapreduce.ReduceTasks, 32).
+		With(mapreduce.JVMHeapMB, 1024.0).
+		With(mapreduce.IOSortMB, 300.0)
+	pred := costmodel.Predict(target.Job(), target.Cluster(), cfg)
+	actual := target.Run(cfg).Time
+	ratio := pred / actual
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("model prediction %v vs actual %v (ratio %.2f) outside 3x band", pred, actual, ratio)
+	}
+}
+
+func TestTunersRespectContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tn := range []tune.Tuner{
+		experiment.NewITuned(31),
+		&experiment.Random{Seed: 31},
+		ml.NewNeuralTuner(31),
+	} {
+		r, err := tn.Tune(ctx, dbmsTarget(31), tune.Budget{Trials: 10})
+		if err == nil && len(r.Trials) > 0 {
+			t.Errorf("%s: ran %d trials after cancellation", tn.Name(), len(r.Trials))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import "testing"
+
+func TestDBWorkloadAccessors(t *testing.T) {
+	w := TPCHLike(10)
+	if w.Table("lineitem").SizeMB <= 0 {
+		t.Error("lineitem missing")
+	}
+	if w.TotalWeight() <= 0 {
+		t.Error("weights missing")
+	}
+	if w.WriteFraction() != 0 {
+		t.Error("tpch should be read-only")
+	}
+	if f := OLTP(32, 2).WriteFraction(); f <= 0 || f >= 1 {
+		t.Errorf("oltp write fraction = %v", f)
+	}
+}
+
+func TestTablePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TPCHLike(1).Table("ghost")
+}
+
+func TestScalesPropagate(t *testing.T) {
+	small, big := TPCHLike(1), TPCHLike(10)
+	if big.Table("lineitem").SizeMB != 10*small.Table("lineitem").SizeMB {
+		t.Error("scaling not linear")
+	}
+	if Grep(2).InputMB != 2048 {
+		t.Error("grep scale wrong")
+	}
+	if TeraSort(5).MapSelectivity != 1.0 {
+		t.Error("terasort must shuffle everything")
+	}
+}
+
+func TestMRJobShapes(t *testing.T) {
+	if WordCount(1).CombinerGain <= 0 {
+		t.Error("wordcount must be reducible")
+	}
+	if Grep(1).MapSelectivity >= 0.01 {
+		t.Error("grep must be highly selective")
+	}
+	if JoinMR(1).SkewTheta <= 0 {
+		t.Error("join should be skewed")
+	}
+}
+
+func TestSparkJobShapes(t *testing.T) {
+	pr := PageRank(2, 5)
+	if pr.Iterations != 5 || pr.CacheableMB <= 0 {
+		t.Errorf("pagerank = %+v", pr)
+	}
+	km := KMeansSpark(2, 10)
+	if km.ShuffleMB >= km.CacheableMB {
+		t.Error("kmeans should shuffle little relative to its cache")
+	}
+	st := StreamingAgg(512, 10, 5)
+	if !st.Streaming || st.Batches != 10 || st.BatchIntervalS != 5 {
+		t.Errorf("streaming = %+v", st)
+	}
+	sd := StreamingDrift(512, 10, 5, 0.1)
+	if sd.DriftPerBatch != 0.1 {
+		t.Error("drift lost")
+	}
+}
+
+func TestQueryKindString(t *testing.T) {
+	kinds := map[QueryKind]string{
+		PointRead: "point", Update: "update", RangeScan: "scan",
+		SortQuery: "sort", Join: "join", Aggregate: "agg",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", int(k), k.String())
+		}
+	}
+	if QueryKind(99).String() != "unknown" {
+		t.Error("unknown kind string wrong")
+	}
+}
