@@ -17,10 +17,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/sysmodel/dbms"
 	"repro/internal/sysmodel/mapreduce"
@@ -50,7 +52,48 @@ type (
 	Repository = tune.Repository
 	// TuningResult is the outcome of a tuning session.
 	TuningResult = tune.TuningResult
+	// Proposer is the ask/tell face of a tuning algorithm.
+	Proposer = tune.Proposer
+	// BatchTuner is a Tuner that also exposes ask/tell proposal.
+	BatchTuner = tune.BatchTuner
+	// Job is one (target, tuner) session for TuneJobs.
+	Job = engine.Job
+	// JobResult pairs a Job with its outcome.
+	JobResult = engine.JobResult
 )
+
+// Engine is the concurrent tuning engine; EngineOptions configures it.
+// NewEngine is the full-control constructor — Tune and TuneJobs below are
+// the common-case conveniences.
+type (
+	Engine        = engine.Engine
+	EngineOptions = engine.Options
+)
+
+// NewEngine returns a concurrent tuning engine.
+func NewEngine(o EngineOptions) *Engine { return engine.New(o) }
+
+// Tune runs tuner against target through the concurrent engine with the
+// given parallelism (≤1 or 0 means sequential). Ask/tell tuners fan each
+// proposed batch out to a worker pool; inherently sequential tuners run
+// through their blocking Tune unchanged. For a fixed seed the result is
+// identical at any parallelism.
+func Tune(ctx context.Context, target Target, tuner Tuner, b Budget, parallel int) (*TuningResult, error) {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	return engine.New(engine.Options{Workers: parallel}).Tune(ctx, target, tuner, b)
+}
+
+// TuneJobs runs many independent tuning sessions concurrently, at most
+// parallel at a time, returning results in job order. Each job needs its
+// own Target instance.
+func TuneJobs(ctx context.Context, jobs []Job, parallel int) []JobResult {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	return engine.New(engine.Options{Workers: parallel}).RunJobs(ctx, jobs)
+}
 
 // Systems lists the systems NewTarget accepts.
 func Systems() []string { return []string{"dbms", "hadoop", "spark", "paralleldb"} }
@@ -126,7 +169,7 @@ func NewTarget(system, wl string, seed int64, opts ...TargetOptions) (Target, er
 		}
 		return d, nil
 	case "hadoop", "paralleldb":
-		job, err := mrJob(wl, scale(20))
+		job, err := mrJob(system, wl, scale(20))
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +201,7 @@ func NewTarget(system, wl string, seed int64, opts ...TargetOptions) (Target, er
 	return nil, fmt.Errorf("repro: unknown system %q (have %s)", system, strings.Join(Systems(), ", "))
 }
 
-func mrJob(wl string, gb float64) (*workload.MRJob, error) {
+func mrJob(system, wl string, gb float64) (*workload.MRJob, error) {
 	switch wl {
 	case "grep":
 		return workload.Grep(gb), nil
@@ -171,7 +214,7 @@ func mrJob(wl string, gb float64) (*workload.MRJob, error) {
 	case "terasort":
 		return workload.TeraSort(gb), nil
 	}
-	return nil, fmt.Errorf("repro: unknown mapreduce workload %q (have %s)", wl, strings.Join(Workloads("hadoop"), ", "))
+	return nil, fmt.Errorf("repro: unknown %s workload %q (have %s)", system, wl, strings.Join(Workloads(system), ", "))
 }
 
 // TunerOptions controls tuner construction.

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	autotune -system dbms -workload tpch -tuner ituned -trials 30
+//	autotune -system dbms -workload tpch -tuner ituned -parallel 4
 //	autotune -list
+//
+// -parallel N evaluates proposed trial batches on N workers; results are
+// identical at any parallelism for a fixed seed.
 package main
 
 import (
@@ -23,6 +27,8 @@ func main() {
 		wl        = flag.String("workload", "tpch", "workload name (see -list)")
 		tuner     = flag.String("tuner", "ituned", "tuning approach (see -list)")
 		trials    = flag.Int("trials", 30, "trial budget (real runs)")
+		parallel  = flag.Int("parallel", 1, "worker count for batch trial evaluation (same result at any value)")
+		memo      = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
 		seed      = flag.Int64("seed", 42, "random seed")
 		scale     = flag.Float64("scale", 0, "input scale in GB (0 = default)")
 		nodes     = flag.Int("nodes", 16, "cluster size for distributed systems")
@@ -60,7 +66,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := tn.Tune(context.Background(), target, tune.Budget{Trials: *trials})
+	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo})
+	res, err := eng.Tune(context.Background(), target, tn, tune.Budget{Trials: *trials})
 	if err != nil {
 		fatal(err)
 	}

@@ -4,26 +4,50 @@
 //
 //	benchtab -exp table1            # one experiment
 //	benchtab -exp all               # everything (minutes)
+//	benchtab -exp table1 -parallel 8
 //	benchtab -exp table2 -csv out.csv
+//	benchtab -exp all -json out.json
 //	benchtab -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/bench"
 )
 
+// record is one experiment's JSON form: the table plus enough run metadata
+// (options, wall-clock) that successive BENCH_*.json files form a
+// performance trajectory across PRs.
+type record struct {
+	Experiment     string     `json:"experiment"`
+	Title          string     `json:"title"`
+	Columns        []string   `json:"columns"`
+	Rows           [][]string `json:"rows"`
+	Notes          []string   `json:"notes,omitempty"`
+	Seed           int64      `json:"seed"`
+	Budget         int        `json:"budget"`
+	Fast           bool       `json:"fast"`
+	Parallel       int        `json:"parallel"`
+	ElapsedSeconds float64    `json:"elapsed_seconds"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		seed   = flag.Int64("seed", 42, "random seed")
-		budget = flag.Int("budget", 30, "per-tuner trial budget")
-		fast   = flag.Bool("fast", false, "shrink workloads for a quick pass")
-		csvOut = flag.String("csv", "", "also write the table as CSV to this file")
-		list   = flag.Bool("list", false, "list experiments")
+		exp      = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		seed     = flag.Int64("seed", 42, "random seed")
+		budget   = flag.Int("budget", 30, "per-tuner trial budget")
+		fast     = flag.Bool("fast", false, "shrink workloads for a quick pass")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "tuning sessions run concurrently (same tables at any value)")
+		csvOut   = flag.String("csv", "", "also write the table as CSV to this file")
+		jsonOut  = flag.String("json", "", "also write results + timings as JSON to this file")
+		list     = flag.Bool("list", false, "list experiments")
 	)
 	flag.Parse()
 
@@ -35,7 +59,7 @@ func main() {
 		return
 	}
 
-	o := bench.Options{Seed: *seed, Budget: *budget, Fast: *fast}
+	o := bench.Options{Seed: *seed, Budget: *budget, Fast: *fast, Parallel: *parallel}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = names[:0]
@@ -43,24 +67,55 @@ func main() {
 			names = append(names, e.Name)
 		}
 	}
+	var records []record
 	for _, name := range names {
+		start := time.Now()
 		tb, err := bench.Run(name, o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		elapsed := time.Since(start).Seconds()
 		tb.Render(os.Stdout)
-		fmt.Println()
+		fmt.Printf("(%s: %.2fs wall-clock at parallelism %d)\n\n", name, elapsed, *parallel)
 		if *csvOut != "" {
-			f, err := os.Create(*csvOut)
+			// With multiple experiments, write one CSV per experiment
+			// (out.csv → out-table1.csv, …) instead of overwriting.
+			path := *csvOut
+			if len(names) > 1 {
+				ext := filepath.Ext(path)
+				path = path[:len(path)-len(ext)] + "-" + name + ext
+			}
+			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			if err := tb.WriteCSV(f); err != nil {
 				fmt.Fprintln(os.Stderr, "benchtab:", err)
 			}
 			f.Close()
 		}
+		records = append(records, record{
+			Experiment: name, Title: tb.Title, Columns: tb.Columns,
+			Rows: tb.Rows, Notes: tb.Notes,
+			Seed: *seed, Budget: *budget, Fast: *fast, Parallel: *parallel,
+			ElapsedSeconds: elapsed,
+		})
 	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/sysmodel/dbms"
 	"repro/internal/sysmodel/mapreduce"
 	"repro/internal/sysmodel/spark"
@@ -80,18 +81,6 @@ func Table1(o Options) *Table {
 		cost    string
 	}
 	na := cell{"n/a", "-", "-"}
-	eval := func(tuner tune.Tuner, target tune.Target, def float64) cell {
-		r, err := tuner.Tune(ctx, target, b)
-		if err != nil {
-			return cell{"err", "-", "-"}
-		}
-		best := r.BestResult.Time
-		if len(r.Trials) == 0 {
-			// Pure recommendation: measure it once out-of-budget.
-			best = target.Run(r.Best).Time
-		}
-		return cell{fmtSpeedup(speedup(def, best)), fmt.Sprintf("%d", len(r.Trials)), fmtSeconds(r.SimTimeUsed)}
-	}
 
 	type rowSpec struct {
 		category string
@@ -151,18 +140,58 @@ func Table1(o Options) *Table {
 		},
 	}
 
+	// Every (category, system) cell is an independent job with its own
+	// target and seed: the multi-session scheduler runs them across all
+	// workers, and the table is identical at any parallelism.
+	type cellRef struct {
+		row, col int
+		target   tune.Target
+		def      float64
+	}
+	var jobs []engine.Job
+	var refs []cellRef
 	for i, spec := range rows {
 		seed := o.Seed + int64(i+1)*31
-		cd, ch, cs := na, na, na
+		add := func(col int, tn tune.Tuner, target tune.Target, def float64) {
+			jobs = append(jobs, engine.Job{Name: spec.category, Tuner: tn, Target: target, Budget: b})
+			refs = append(refs, cellRef{row: i, col: col, target: target, def: def})
+		}
 		if spec.dbms != nil {
-			cd = eval(spec.dbms(seed), newDBMS(seed+1), defDBMS)
+			add(0, spec.dbms(seed), newDBMS(seed+1), defDBMS)
 		}
 		if spec.hadoop != nil {
-			ch = eval(spec.hadoop(seed), newHadoop(seed+2), defHadoop)
+			add(1, spec.hadoop(seed), newHadoop(seed+2), defHadoop)
 		}
 		if spec.spark != nil {
-			cs = eval(spec.spark(seed), newSpark(seed+3), defSpark)
+			add(2, spec.spark(seed), newSpark(seed+3), defSpark)
 		}
+	}
+	results := o.engine().RunJobs(ctx, jobs)
+
+	cells := make([][3]cell, len(rows))
+	for i := range cells {
+		cells[i] = [3]cell{na, na, na}
+	}
+	for k, jr := range results {
+		ref := refs[k]
+		if jr.Err != nil {
+			cells[ref.row][ref.col] = cell{"err", "-", "-"}
+			continue
+		}
+		r := jr.Result
+		best := r.BestResult.Time
+		if len(r.Trials) == 0 {
+			// Pure recommendation: measure it once out-of-budget.
+			best = ref.target.Run(r.Best).Time
+		}
+		cells[ref.row][ref.col] = cell{
+			fmtSpeedup(speedup(ref.def, best)),
+			fmt.Sprintf("%d", len(r.Trials)),
+			fmtSeconds(r.SimTimeUsed),
+		}
+	}
+	for i, spec := range rows {
+		cd, ch, cs := cells[i][0], cells[i][1], cells[i][2]
 		t.AddRow(spec.category, spec.label,
 			cd.speedup, cd.runs, cd.cost,
 			ch.speedup, ch.runs, ch.cost,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/mathx/stat"
 	"repro/internal/sysmodel/trace"
 	"repro/internal/tune"
@@ -82,17 +83,49 @@ func Table2(o Options) *Table {
 	truth := groundTruthImportance(truthTarget, gtLevels, gtReps)
 	space := truthTarget.Space()
 
-	tuneOutcome := func(tuner tune.Tuner, i int64) string {
+	// All plain tuning cells run concurrently on the scheduler up front;
+	// each owns its target (newTarget(i)), so the table is identical at any
+	// parallelism. The bespoke measurement blocks below stay inline.
+	repo := BuildDBMSRepository(o, wl.Name)
+	ot := ml.NewOtterTune(o.Seed+47, repo)
+	colt := adaptive.NewCOLT(o.Seed + 48)
+	colt.Runs = 3
+	type tuned struct {
+		result *tune.TuningResult
+		target tune.Target
+		err    error
+	}
+	sessions := map[int64]*tuned{}
+	var jobs []engine.Job
+	var jobIdx []int64
+	addJob := func(i int64, tn tune.Tuner) {
 		target := newTarget(i)
-		r, err := tuner.Tune(ctx, target, b)
-		if err != nil {
-			return "error: " + err.Error()
+		sessions[i] = &tuned{target: target}
+		jobs = append(jobs, engine.Job{Name: fmt.Sprintf("table2/%d", i), Tuner: tn, Target: target, Budget: b})
+		jobIdx = append(jobIdx, i)
+	}
+	addJob(3, rulebased.NewNavigator())
+	addJob(4, costmodel.NewSTMM())
+	addJob(6, simulation.NewADDM())
+	addJob(8, experiment.NewAdaptiveSampling(o.Seed+44))
+	addJob(9, experiment.NewITuned(o.Seed+45))
+	addJob(10, ml.NewNeuralTuner(o.Seed+46))
+	addJob(11, ot)
+	addJob(12, colt)
+	for k, jr := range o.engine().RunJobs(ctx, jobs) {
+		s := sessions[jobIdx[k]]
+		s.result, s.err = jr.Result, jr.Err
+	}
+	tuneOutcome := func(i int64) string {
+		s := sessions[i]
+		if s.err != nil {
+			return "error: " + s.err.Error()
 		}
-		best := r.BestResult.Time
-		if len(r.Trials) == 0 {
-			best = target.Run(r.Best).Time
+		best := s.result.BestResult.Time
+		if len(s.result.Trials) == 0 {
+			best = s.target.Run(s.result.Best).Time
 		}
-		return fmt.Sprintf("%s speedup in %d runs", fmtSpeedup(speedup(def, best)), len(r.Trials))
+		return fmt.Sprintf("%s speedup in %d runs", fmtSpeedup(speedup(def, best)), len(s.result.Trials))
 	}
 
 	// --- SPEX: misconfiguration detection --------------------------------
@@ -138,15 +171,14 @@ func Table2(o Options) *Table {
 	{
 		ranking := space.ByImpact()
 		rho := rankingQuality(space, ranking, truth)
-		nav := rulebased.NewNavigator()
-		out := tuneOutcome(nav, 3)
+		out := tuneOutcome(3)
 		t.AddRow("Rule-based", "Tianyin [26]", "Configuration navigation", "Ranking the effects of parameters",
 			fmt.Sprintf("doc-impact ranking ρ=%.2f vs ground truth; %s", rho, out))
 	}
 
 	// --- STMM -------------------------------------------------------------
 	t.AddRow("Cost modeling", "STMM [22]", "Cost-benefit analysis", "Tuning, Recommendation",
-		tuneOutcome(costmodel.NewSTMM(), 4))
+		tuneOutcome(4))
 
 	// --- Dushyanth: trace-based prediction ---------------------------------
 	{
@@ -173,7 +205,7 @@ func Table2(o Options) *Table {
 
 	// --- ADDM ---------------------------------------------------------------
 	t.AddRow("Simulation", "ADDM [8]", "DAG model & simulation", "Profiling, Tuning",
-		tuneOutcome(simulation.NewADDM(), 6))
+		tuneOutcome(6))
 
 	// --- SARD: screening quality ---------------------------------------------
 	{
@@ -190,21 +222,19 @@ func Table2(o Options) *Table {
 
 	// --- Shivnath adaptive sampling -------------------------------------------
 	t.AddRow("Experiment-driven", "Shivnath [3]", "Adaptive sampling", "Profiling, Tuning",
-		tuneOutcome(experiment.NewAdaptiveSampling(o.Seed+44), 8))
+		tuneOutcome(8))
 
 	// --- iTuned ------------------------------------------------------------------
 	t.AddRow("Experiment-driven", "iTuned [9]", "LHS & Gaussian Process", "Profiling, Tuning",
-		tuneOutcome(experiment.NewITuned(o.Seed+45), 9))
+		tuneOutcome(9))
 
 	// --- Rodd NN -------------------------------------------------------------------
 	t.AddRow("Machine learning", "Rodd [19]", "Neural Networks", "Tuning, Recommendation",
-		tuneOutcome(ml.NewNeuralTuner(o.Seed+46), 10))
+		tuneOutcome(10))
 
 	// --- OtterTune --------------------------------------------------------------------
 	{
-		repo := BuildDBMSRepository(o, wl.Name)
-		ot := ml.NewOtterTune(o.Seed+47, repo)
-		out := tuneOutcome(ot, 11)
+		out := tuneOutcome(11)
 		if ot.LastMappedWorkload != "" {
 			out += fmt.Sprintf("; mapped to %q", ot.LastMappedWorkload)
 		}
@@ -213,10 +243,8 @@ func Table2(o Options) *Table {
 
 	// --- COLT -------------------------------------------------------------------------
 	{
-		target := newTarget(12)
-		colt := adaptive.NewCOLT(o.Seed + 48)
-		colt.Runs = 3
-		r, err := colt.Tune(ctx, target, b)
+		target := sessions[12].target
+		r, err := sessions[12].result, sessions[12].err
 		out := "error"
 		if err == nil && len(r.Trials) > 0 {
 			first := r.Trials[0].Result.Time

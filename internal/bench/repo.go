@@ -4,17 +4,62 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/tune"
 	"repro/internal/tuners/experiment"
 	"repro/internal/workload"
 )
+
+// repoSession describes one synthetic past-tuning session to record: a
+// tuner bound to its own target instance (sessions never share a target, so
+// the scheduler can run them concurrently without entangling noise
+// streams).
+type repoSession struct {
+	system, name string
+	target       tune.Target
+	tuner        tune.Tuner
+	trials       int
+}
+
+// buildRepository runs the sessions on the scheduler and records them in
+// order, so the repository contents are independent of parallelism.
+func buildRepository(o Options, sessions []repoSession) *tune.Repository {
+	jobs := make([]engine.Job, len(sessions))
+	for i, s := range sessions {
+		jobs[i] = engine.Job{Name: s.name, Tuner: s.tuner, Target: s.target, Budget: tune.Budget{Trials: s.trials}}
+	}
+	results := o.engine().RunJobs(context.Background(), jobs)
+	repo := &tune.Repository{}
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: repository session failed: %v", r.Err))
+		}
+		s := sessions[i]
+		var features map[string]float64
+		if d, ok := s.target.(tune.Describer); ok {
+			features = d.WorkloadFeatures()
+		}
+		repo.AddResult(s.system, s.name, features, r.Result)
+	}
+	return repo
+}
+
+// sessionPair returns the standard exploratory + guided session pair for
+// one past workload: an iTuned session and a random session, each on its
+// own fresh target built by mk with a distinct seed offset — distinct so
+// the two sessions' noise streams are independent, not copies.
+func sessionPair(system, name string, mk func(ofs int64) tune.Target, seed int64, trials int) []repoSession {
+	return []repoSession{
+		{system, name, mk(0), experiment.NewITuned(seed + 1), trials},
+		{system, name + "/explore", mk(5000), &experiment.Random{Seed: seed + 2}, trials / 2},
+	}
+}
 
 // BuildDBMSRepository synthesizes a tuning repository from past sessions over
 // DBMS workloads other than the one about to be tuned — the corpus
 // OtterTune-style transfer requires. Each past workload contributes one
 // exploratory session (random) and one guided session (iTuned).
 func BuildDBMSRepository(o Options, exclude string) *tune.Repository {
-	repo := &tune.Repository{}
 	past := []*workload.DBWorkload{
 		workload.TPCHLike(o.scaleGB(10, 2)),
 		workload.OLTP(64, o.scaleGB(4, 1)),
@@ -24,19 +69,21 @@ func BuildDBMSRepository(o Options, exclude string) *tune.Repository {
 	if o.Fast {
 		trials = 8
 	}
+	var sessions []repoSession
 	for i, wl := range past {
 		if wl.Name == exclude {
 			continue
 		}
-		target := DBMSTarget(wl, o.Seed+int64(100+i))
-		addSession(repo, target, "dbms", wl.Name, o.Seed+int64(10*i), trials)
+		wl := wl
+		targetSeed := o.Seed + int64(100+i)
+		mk := func(ofs int64) tune.Target { return DBMSTarget(wl, targetSeed+ofs) }
+		sessions = append(sessions, sessionPair("dbms", wl.Name, mk, o.Seed+int64(10*i), trials)...)
 	}
-	return repo
+	return buildRepository(o, sessions)
 }
 
 // BuildSparkRepository is the Spark analogue of BuildDBMSRepository.
 func BuildSparkRepository(o Options, exclude string) *tune.Repository {
-	repo := &tune.Repository{}
 	past := []*workload.SparkJob{
 		workload.WordCountSpark(o.scaleGB(20, 2)),
 		workload.TeraSortSpark(o.scaleGB(20, 2)),
@@ -47,19 +94,21 @@ func BuildSparkRepository(o Options, exclude string) *tune.Repository {
 	if o.Fast {
 		trials = 8
 	}
+	var sessions []repoSession
 	for i, job := range past {
 		if job.Name == exclude {
 			continue
 		}
-		target := SparkTarget(job, o.Seed+int64(200+i))
-		addSession(repo, target, "spark", job.Name, o.Seed+int64(20*i), trials)
+		job := job
+		targetSeed := o.Seed + int64(200+i)
+		mk := func(ofs int64) tune.Target { return SparkTarget(job, targetSeed+ofs) }
+		sessions = append(sessions, sessionPair("spark", job.Name, mk, o.Seed+int64(20*i), trials)...)
 	}
-	return repo
+	return buildRepository(o, sessions)
 }
 
 // BuildHadoopRepository is the Hadoop analogue of BuildDBMSRepository.
 func BuildHadoopRepository(o Options, exclude string) *tune.Repository {
-	repo := &tune.Repository{}
 	past := []*workload.MRJob{
 		workload.WordCount(o.scaleGB(30, 3)),
 		workload.TeraSort(o.scaleGB(30, 3)),
@@ -69,32 +118,15 @@ func BuildHadoopRepository(o Options, exclude string) *tune.Repository {
 	if o.Fast {
 		trials = 8
 	}
+	var sessions []repoSession
 	for i, job := range past {
 		if job.Name == exclude {
 			continue
 		}
-		target := HadoopTarget(job, o.Seed+int64(300+i))
-		addSession(repo, target, "hadoop", job.Name, o.Seed+int64(30*i), trials)
+		job := job
+		targetSeed := o.Seed + int64(300+i)
+		mk := func(ofs int64) tune.Target { return HadoopTarget(job, targetSeed+ofs) }
+		sessions = append(sessions, sessionPair("hadoop", job.Name, mk, o.Seed+int64(30*i), trials)...)
 	}
-	return repo
-}
-
-func addSession(repo *tune.Repository, target tune.Target, system, name string, seed int64, trials int) {
-	ctx := context.Background()
-	var features map[string]float64
-	if d, ok := target.(tune.Describer); ok {
-		features = d.WorkloadFeatures()
-	}
-	it := experiment.NewITuned(seed + 1)
-	r, err := it.Tune(ctx, target, tune.Budget{Trials: trials})
-	if err != nil {
-		panic(fmt.Sprintf("bench: repository session failed: %v", err))
-	}
-	repo.AddResult(system, name, features, r)
-	rd := &experiment.Random{Seed: seed + 2}
-	r2, err := rd.Tune(ctx, target, tune.Budget{Trials: trials / 2})
-	if err != nil {
-		panic(fmt.Sprintf("bench: repository session failed: %v", err))
-	}
-	repo.AddResult(system, name+"/explore", features, r2)
+	return buildRepository(o, sessions)
 }

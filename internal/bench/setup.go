@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/sysmodel/dbms"
 	"repro/internal/sysmodel/mapreduce"
@@ -22,6 +23,19 @@ type Options struct {
 	Budget int
 	// Fast shrinks workloads and budgets for test-suite runs.
 	Fast bool
+	// Parallel is the worker count for the multi-session scheduler
+	// (default 1). Every tuning job owns its target and seed, so tables
+	// are identical at any parallelism.
+	Parallel int
+}
+
+// engine returns the concurrent engine experiments schedule jobs on.
+func (o Options) engine() *engine.Engine {
+	w := o.Parallel
+	if w <= 0 {
+		w = 1
+	}
+	return engine.New(engine.Options{Workers: w})
 }
 
 func (o Options) budget() tune.Budget {

@@ -1,0 +1,263 @@
+// Package engine is the concurrent tuning engine: it drives ask/tell tuners
+// (tune.BatchTuner) by fanning each proposed batch of configurations out to
+// a worker pool, memoizing repeated evaluations in a config-keyed cache,
+// and scheduling many independent (target, tuner) sessions concurrently.
+//
+// Determinism is the design constraint everything here bends around: for a
+// fixed seed the engine produces bit-identical results at any worker count.
+// Three rules make that true:
+//
+//  1. Proposers are single-threaded. The engine asks for a batch, evaluates
+//     it, and tells the proposer every outcome in proposal order ("ordered
+//     observation merge") — never in completion order.
+//  2. Run-index reservation. Targets implementing tune.ConcurrentTarget key
+//     their run-to-run noise by a reserved index, assigned in proposal
+//     order, so a trial's noise does not depend on which worker ran it
+//     first. Targets without the interface are evaluated sequentially.
+//  3. Cache decisions happen on the driver goroutine, before and after the
+//     fan-out, never inside it.
+package engine
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds total concurrency (default: GOMAXPROCS): concurrent
+	// trial evaluations in a single Tune/Drive session, or concurrent
+	// sessions in RunJobs (whose jobs evaluate sequentially inside, so
+	// the bounds never multiply).
+	Workers int
+	// Cache enables the per-session config-keyed result memo cache:
+	// proposing an already-evaluated configuration returns the memoized
+	// result instead of a fresh noisy run, so converged tuners stop
+	// paying wall-clock for repeat proposals. Off by default because
+	// repeated measurements of a noisy target are sometimes deliberate
+	// (e.g. multi-probe trace capture) — without the cache the engine
+	// reproduces the blocking facade exactly.
+	Cache bool
+}
+
+// Engine evaluates tuning sessions concurrently.
+type Engine struct {
+	workers int
+	cache   bool
+}
+
+// New returns an engine with the given options.
+func New(o Options) *Engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: w, cache: o.Cache}
+}
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Tune runs tuner against target under b. Tuners exposing the ask/tell
+// interface are driven with parallel batch evaluation; everything else
+// (inherently sequential tuners: online/adaptive controllers, diagnose-act
+// loops) falls back to the blocking Tune facade unchanged. Both paths give
+// identical results at any worker count for a fixed seed.
+func (e *Engine) Tune(ctx context.Context, target tune.Target, tuner tune.Tuner, b tune.Budget) (*tune.TuningResult, error) {
+	bt, ok := tuner.(tune.BatchTuner)
+	if !ok {
+		return tuner.Tune(ctx, target, b)
+	}
+	p, err := bt.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	return e.Drive(ctx, tuner.Name(), target, b, p)
+}
+
+// Drive is the parallel counterpart of tune.DriveProposer: it evaluates
+// each proposed batch on the worker pool and observes results in proposal
+// order.
+func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b tune.Budget, p tune.Proposer) (*tune.TuningResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := tune.NewSession(ctx, target, b)
+	ev := e.newEvaluator(target)
+	// Under a sim-time budget the exhaustion point is unknowable before
+	// running, so evaluate in worker-sized chunks and re-check between
+	// them: waste past the cut is bounded by one chunk instead of one
+	// batch. Recorded trials stay identical at any worker count either
+	// way — chunks merge in proposal order against the same session state.
+	// Caveat: a mid-chunk sim-time cut leaves up to chunk-1 reserved run
+	// indices unrecorded, so after such a session the target's counter
+	// may differ by that much across worker counts; reuse the target for
+	// seed-sensitive comparisons only after trial-bounded sessions.
+	chunk := int(^uint(0) >> 1)
+	if b.SimTime > 0 {
+		chunk = e.workers
+	}
+	for !s.Exhausted() {
+		remaining := s.Remaining()
+		cfgs := p.Propose(remaining)
+		if len(cfgs) == 0 {
+			break
+		}
+		if len(cfgs) > remaining {
+			cfgs = cfgs[:remaining]
+		}
+		stopped := false
+		for off := 0; off < len(cfgs) && !stopped && !s.Exhausted(); off += chunk {
+			end := off + chunk
+			if end > len(cfgs) {
+				end = len(cfgs)
+			}
+			part := cfgs[off:end]
+			results := ev.runBatch(ctx, part)
+			for i := range part {
+				if s.Exhausted() {
+					stopped = true
+					break
+				}
+				p.Observe(s.RecordExternal(part[i], results[i]))
+			}
+		}
+		if stopped {
+			break
+		}
+	}
+	// A cancelled session is an error, not a short tuning run — matching
+	// tune.DriveProposer, so callers see cancellation the same way on
+	// both the batch and the sequential path.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec := tune.Config{}
+	if r, ok := p.(tune.Recommender); ok {
+		rec = r.Recommend()
+	}
+	return s.Finish(name, rec), nil
+}
+
+// evaluator runs batches of configurations against one target.
+type evaluator struct {
+	target  tune.Target
+	ct      tune.ConcurrentTarget // nil: evaluate sequentially
+	workers int
+	cache   map[string]tune.Result // nil: cache disabled
+}
+
+func (e *Engine) newEvaluator(target tune.Target) *evaluator {
+	ev := &evaluator{target: target, workers: e.workers}
+	if ct, ok := target.(tune.ConcurrentTarget); ok {
+		ev.ct = ct
+	}
+	if e.cache {
+		ev.cache = make(map[string]tune.Result)
+	}
+	return ev
+}
+
+// runBatch evaluates cfgs and returns results aligned with them. Cache
+// lookups, duplicate folding, and run-index reservation all happen here on
+// the caller's goroutine, in batch order, so the outcome is independent of
+// worker scheduling.
+func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Result {
+	results := make([]tune.Result, len(cfgs))
+	type job struct {
+		pos int
+		idx int64
+	}
+	var jobs []job
+	keys := make([]string, len(cfgs))
+	dupOf := make([]int, len(cfgs)) // earlier in-batch position with the same config, else -1
+	firstAt := map[string]int{}
+	for i, cfg := range cfgs {
+		dupOf[i] = -1
+		if ev.cache == nil {
+			jobs = append(jobs, job{pos: i})
+			continue
+		}
+		keys[i] = configKey(cfg)
+		if r, ok := ev.cache[keys[i]]; ok {
+			results[i] = r
+			keys[i] = "" // already memoized; nothing to store later
+			continue
+		}
+		if at, ok := firstAt[keys[i]]; ok {
+			dupOf[i] = at
+			continue
+		}
+		firstAt[keys[i]] = i
+		jobs = append(jobs, job{pos: i})
+	}
+
+	if len(jobs) > 0 {
+		if ev.ct != nil {
+			start := ev.ct.ReserveRuns(int64(len(jobs)))
+			for k := range jobs {
+				jobs[k].idx = start + int64(k)
+			}
+			workers := ev.workers
+			if workers > len(jobs) {
+				workers = len(jobs)
+			}
+			var wg sync.WaitGroup
+			next := make(chan job, len(jobs))
+			for _, j := range jobs {
+				next <- j
+			}
+			close(next)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range next {
+						if ctx.Err() != nil {
+							continue // session will stop at the merge
+						}
+						results[j.pos] = ev.ct.RunIndexed(j.idx, cfgs[j.pos])
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			// No index-keyed noise stream: parallel evaluation would tie
+			// results to worker scheduling, so stay sequential.
+			for _, j := range jobs {
+				if ctx.Err() != nil {
+					break
+				}
+				results[j.pos] = ev.target.Run(cfgs[j.pos])
+			}
+		}
+	}
+
+	for i := range cfgs {
+		if dupOf[i] >= 0 {
+			results[i] = results[dupOf[i]]
+		} else if ev.cache != nil && keys[i] != "" {
+			ev.cache[keys[i]] = results[i]
+		}
+	}
+	return results
+}
+
+// configKey renders a configuration's exact unit-cube coordinates as a map
+// key (hex float bits, so distinct points never collide).
+func configKey(cfg tune.Config) string {
+	v := cfg.Vector()
+	var b strings.Builder
+	b.Grow(len(v) * 17)
+	for _, x := range v {
+		b.WriteString(strconv.FormatUint(math.Float64bits(x), 16))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

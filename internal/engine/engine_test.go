@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/dbms"
+	"repro/internal/tune"
+	"repro/internal/tuners/experiment"
+	"repro/internal/workload"
+)
+
+func dbmsTarget(seed int64) *dbms.DBMS {
+	return dbms.New(cluster.CommodityNode(), workload.TPCHLike(2), seed)
+}
+
+// sameResult asserts two tuning results have identical trial sequences and
+// incumbents.
+func sameResult(t *testing.T, a, b *tune.TuningResult, label string) {
+	t.Helper()
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("%s: trial counts differ: %d vs %d", label, len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.String() != b.Trials[i].Config.String() {
+			t.Fatalf("%s: trial %d configs differ:\n  %s\n  %s",
+				label, i+1, a.Trials[i].Config, b.Trials[i].Config)
+		}
+		if a.Trials[i].Result.Time != b.Trials[i].Result.Time {
+			t.Fatalf("%s: trial %d times differ: %v vs %v",
+				label, i+1, a.Trials[i].Result.Time, b.Trials[i].Result.Time)
+		}
+	}
+	if a.Best.String() != b.Best.String() {
+		t.Fatalf("%s: best configs differ:\n  %s\n  %s", label, a.Best, b.Best)
+	}
+}
+
+// TestDriveDeterministicAcrossWorkers is the core engine guarantee: for a
+// fixed seed, parallel and sequential evaluation report identical trials
+// and the same best configuration.
+func TestDriveDeterministicAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	b := tune.Budget{Trials: 20}
+	run := func(workers int) *tune.TuningResult {
+		eng := New(Options{Workers: workers})
+		r, err := eng.Tune(ctx, dbmsTarget(7), experiment.NewITuned(7), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := run(1)
+	if len(seq.Trials) == 0 {
+		t.Fatal("no trials recorded")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		sameResult(t, seq, run(workers), "workers=1 vs parallel")
+	}
+}
+
+// TestDriveMatchesSequentialFacade: with the cache disabled, the engine's
+// parallel driver reproduces tune.DriveProposer (and hence Tuner.Tune)
+// exactly — run-index reservation hands each trial the same noise stream
+// the blocking facade would have drawn.
+func TestDriveMatchesSequentialFacade(t *testing.T) {
+	ctx := context.Background()
+	b := tune.Budget{Trials: 18}
+	facade, err := experiment.NewITuned(11).Tune(ctx, dbmsTarget(11), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Options{Workers: 4})
+	parallel, err := eng.Tune(ctx, dbmsTarget(11), experiment.NewITuned(11), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, facade, parallel, "facade vs engine")
+}
+
+// TestRunJobsMatchesSequential: the multi-session scheduler returns, in
+// order, exactly what running each job alone would return.
+func TestRunJobsMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	b := tune.Budget{Trials: 10}
+	mk := func() []Job {
+		var jobs []Job
+		for i := int64(0); i < 6; i++ {
+			jobs = append(jobs, Job{
+				Name:   "job",
+				Tuner:  &experiment.Random{Seed: 100 + i},
+				Target: dbmsTarget(200 + i),
+				Budget: b,
+			})
+		}
+		return jobs
+	}
+	parallel := New(Options{Workers: 4}).RunJobs(ctx, mk())
+	sequential := New(Options{Workers: 1}).RunJobs(ctx, mk())
+	if len(parallel) != len(sequential) {
+		t.Fatalf("result counts differ")
+	}
+	for i := range parallel {
+		if parallel[i].Err != nil || sequential[i].Err != nil {
+			t.Fatalf("job %d errored: %v / %v", i, parallel[i].Err, sequential[i].Err)
+		}
+		sameResult(t, sequential[i].Result, parallel[i].Result, "scheduler job")
+	}
+}
+
+// countingTarget counts real executions behind a trivial space.
+type countingTarget struct {
+	space *tune.Space
+	runs  atomic.Int64
+	calls atomic.Int64
+}
+
+func newCountingTarget() *countingTarget {
+	return &countingTarget{space: tune.NewSpace(tune.Float("a", 0, 1, 0.5))}
+}
+
+func (c *countingTarget) Name() string       { return "stub/count" }
+func (c *countingTarget) Space() *tune.Space { return c.space }
+func (c *countingTarget) Run(cfg tune.Config) tune.Result {
+	return c.RunIndexed(c.ReserveRuns(1), cfg)
+}
+func (c *countingTarget) ReserveRuns(n int64) int64 { return c.runs.Add(n) - n + 1 }
+func (c *countingTarget) RunIndexed(i int64, cfg tune.Config) tune.Result {
+	c.calls.Add(1)
+	return tune.Result{Time: 1 + cfg.Float("a")}
+}
+
+// repeatProposer proposes the same configuration forever.
+type repeatProposer struct{ cfg tune.Config }
+
+func (p *repeatProposer) Propose(n int) []tune.Config {
+	out := make([]tune.Config, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.cfg)
+	}
+	return out
+}
+func (p *repeatProposer) Observe(tune.Trial) {}
+
+// TestMemoCacheDeduplicates: repeated proposals of one configuration cost
+// one real run with the cache on, one per trial with it off — and the
+// session still records every trial either way.
+func TestMemoCacheDeduplicates(t *testing.T) {
+	ctx := context.Background()
+	b := tune.Budget{Trials: 8}
+
+	cached := newCountingTarget()
+	r, err := New(Options{Workers: 4, Cache: true}).Drive(ctx, "stub", cached, b, &repeatProposer{cfg: cached.space.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cached.calls.Load(); got != 1 {
+		t.Errorf("cache on: %d real runs, want 1", got)
+	}
+	if len(r.Trials) != 8 {
+		t.Errorf("cache on: %d trials recorded, want 8", len(r.Trials))
+	}
+
+	uncached := newCountingTarget()
+	if _, err := New(Options{Workers: 4}).Drive(ctx, "stub", uncached, b, &repeatProposer{cfg: uncached.space.Default()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := uncached.calls.Load(); got != 8 {
+		t.Errorf("cache off (default): %d real runs, want 8", got)
+	}
+}
+
+// TestSimTimeBudgetMatchesFacadeAndBoundsWaste: with a sim-time budget
+// the engine records exactly the trials the sequential facade records,
+// and evaluates at most one worker-sized chunk past the cut.
+func TestSimTimeBudgetMatchesFacadeAndBoundsWaste(t *testing.T) {
+	ctx := context.Background()
+	b := tune.Budget{Trials: 1000, SimTime: 5}
+
+	facadeTarget := newCountingTarget()
+	facade, err := tune.DriveProposer(ctx, "stub", facadeTarget, b, &repeatProposer{cfg: facadeTarget.space.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engTarget := newCountingTarget()
+	eng, err := New(Options{Workers: 4}).Drive(ctx, "stub", engTarget, b, &repeatProposer{cfg: engTarget.space.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, facade, eng, "simtime facade vs engine")
+	if eng.SimTimeUsed > b.SimTime+2 { // each stub trial costs 1.5
+		t.Errorf("engine overspent sim time: %v", eng.SimTimeUsed)
+	}
+	waste := engTarget.calls.Load() - int64(len(eng.Trials))
+	if waste < 0 || waste >= 4 {
+		t.Errorf("engine wasted %d runs past the cut, want < 4 (one chunk)", waste)
+	}
+}
+
+// TestDriveReportsCancellation: a cancelled context is an error on both
+// the batch path and the sequential facade, never a short success.
+func TestDriveReportsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := tune.Budget{Trials: 10}
+	if _, err := New(Options{Workers: 4}).Tune(ctx, dbmsTarget(1), experiment.NewITuned(1), b); err != context.Canceled {
+		t.Errorf("engine path: got %v, want context.Canceled", err)
+	}
+	if _, err := experiment.NewITuned(1).Tune(ctx, dbmsTarget(1), b); err != context.Canceled {
+		t.Errorf("facade path: got %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkDrive measures the wall-clock effect of worker parallelism on
+// one iTuned session (the acceptance benchmark for the engine).
+func BenchmarkDrive(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "workers=1", 4: "workers=4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := New(Options{Workers: workers})
+				if _, err := eng.Tune(context.Background(), dbmsTarget(int64(i)),
+					experiment.NewITuned(int64(i)), tune.Budget{Trials: 24}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

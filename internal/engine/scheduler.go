@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// Job is one tuning session: a tuner bound to its own target. Targets must
+// not be shared between jobs — each job's trial sequence draws from its
+// target's private noise stream, and sharing would entangle them.
+type Job struct {
+	// Name labels the job in results (e.g. "experiment-driven/dbms").
+	Name   string
+	Tuner  tune.Tuner
+	Target tune.Target
+	Budget tune.Budget
+}
+
+// JobResult pairs a job with its outcome.
+type JobResult struct {
+	Name   string
+	Result *tune.TuningResult
+	Err    error
+}
+
+// RunJobs executes the jobs concurrently — the multi-session scheduler. At
+// most Workers jobs are in flight at once, and each job evaluates its own
+// trials sequentially (a sub-engine with one worker), so total concurrency
+// is exactly Workers rather than Workers². Cross-session parallelism is
+// the scheduler's lever; per-batch fan-out belongs to single-session
+// Tune/Drive. Results are returned in job order and each job is
+// deterministic in its own seed, so the output is identical to running
+// the jobs sequentially.
+func (e *Engine) RunJobs(ctx context.Context, jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	sem := make(chan struct{}, e.workers)
+	sub := &Engine{workers: 1, cache: e.cache}
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			r, err := sub.Tune(ctx, j.Target, j.Tuner, j.Budget)
+			out[i] = JobResult{Name: j.Name, Result: r, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/tune"
@@ -90,7 +91,7 @@ type DBMS struct {
 	Tenant *cluster.Cluster
 	space  *tune.Space
 	seed   int64
-	runs   int64
+	runs   atomic.Int64
 	// NoiseStd is the log-normal run-to-run noise (default 0.03).
 	NoiseStd float64
 }
@@ -160,13 +161,22 @@ func (d *DBMS) WorkloadFeatures() map[string]float64 {
 // stream so repeated evaluations of the same configuration vary like real
 // benchmark runs while the whole experiment stays deterministic per seed.
 func (d *DBMS) rng() *rand.Rand {
-	d.runs++
-	return rand.New(rand.NewSource(d.seed + d.runs*2654435761))
+	return rand.New(rand.NewSource(d.seed + d.ReserveRuns(1)*2654435761))
+}
+
+// ReserveRuns implements tune.ConcurrentTarget.
+func (d *DBMS) ReserveRuns(n int64) int64 { return d.runs.Add(n) - n + 1 }
+
+// RunIndexed implements tune.ConcurrentTarget: the noise stream is keyed by
+// the run index, so concurrent runs with reserved indices reproduce exactly
+// what the same sequence of plain Run calls would have produced.
+func (d *DBMS) RunIndexed(i int64, cfg tune.Config) tune.Result {
+	return d.simulate(cfg, rand.New(rand.NewSource(d.seed+i*2654435761)), 1.0)
 }
 
 // Run implements tune.Target.
 func (d *DBMS) Run(cfg tune.Config) tune.Result {
-	return d.simulate(cfg, d.rng(), 1.0)
+	return d.RunIndexed(d.ReserveRuns(1), cfg)
 }
 
 // Epochs implements tune.AdaptiveTarget: a run divides into 20 windows,

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/tune"
@@ -79,7 +80,7 @@ type Hadoop struct {
 	job  *workload.MRJob
 	s    *tune.Space
 	seed int64
-	runs int64
+	runs atomic.Int64
 	// NoiseStd is the log-normal run-to-run noise (default 0.04).
 	NoiseStd float64
 }
@@ -123,8 +124,15 @@ func (h *Hadoop) WorkloadFeatures() map[string]float64 {
 }
 
 func (h *Hadoop) rng() *rand.Rand {
-	h.runs++
-	return rand.New(rand.NewSource(h.seed + h.runs*1442695040888963407))
+	return rand.New(rand.NewSource(h.seed + h.ReserveRuns(1)*1442695040888963407))
+}
+
+// ReserveRuns implements tune.ConcurrentTarget.
+func (h *Hadoop) ReserveRuns(n int64) int64 { return h.runs.Add(n) - n + 1 }
+
+// RunIndexed implements tune.ConcurrentTarget.
+func (h *Hadoop) RunIndexed(i int64, cfg tune.Config) tune.Result {
+	return h.simulate(cfg, rand.New(rand.NewSource(h.seed+i*1442695040888963407)))
 }
 
 // codec returns (size ratio, CPU seconds per raw MB) for a codec name.
@@ -184,7 +192,11 @@ func zipfShares(n int, theta float64) []float64 {
 
 // Run implements tune.Target.
 func (h *Hadoop) Run(cfg tune.Config) tune.Result {
-	rng := h.rng()
+	return h.simulate(cfg, h.rng())
+}
+
+// simulate executes the job once under cfg drawing noise from rng.
+func (h *Hadoop) simulate(cfg tune.Config, rng *rand.Rand) tune.Result {
 	job := h.job
 	cl := h.cl
 	node := cl.MinNode() // wave pacing is set by the weakest machine

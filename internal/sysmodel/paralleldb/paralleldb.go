@@ -13,6 +13,7 @@ package paralleldb
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/tune"
@@ -45,7 +46,7 @@ type ParallelDB struct {
 	job  *workload.MRJob // reuse the MR job profile: same data, same task
 	s    *tune.Space
 	seed int64
-	runs int64
+	runs atomic.Int64
 }
 
 // New returns a parallel DB executing the same logical task as job on cl.
@@ -62,10 +63,17 @@ func (p *ParallelDB) Space() *tune.Space { return p.s }
 // Specs implements tune.SpecProvider.
 func (p *ParallelDB) Specs() map[string]float64 { return p.cl.Specs() }
 
+// ReserveRuns implements tune.ConcurrentTarget.
+func (p *ParallelDB) ReserveRuns(n int64) int64 { return p.runs.Add(n) - n + 1 }
+
 // Run implements tune.Target.
 func (p *ParallelDB) Run(cfg tune.Config) tune.Result {
-	p.runs++
-	rng := rand.New(rand.NewSource(p.seed + p.runs*982451653))
+	return p.RunIndexed(p.ReserveRuns(1), cfg)
+}
+
+// RunIndexed implements tune.ConcurrentTarget.
+func (p *ParallelDB) RunIndexed(i int64, cfg tune.Config) tune.Result {
+	rng := rand.New(rand.NewSource(p.seed + i*982451653))
 	cl := p.cl
 	node := cl.MinNode()
 	share := cl.EffectiveShare(rng)

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/tune"
@@ -208,7 +209,7 @@ type Spark struct {
 	s   *tune.Space
 	// full marks targets built over FullSpace.
 	seed int64
-	runs int64
+	runs atomic.Int64
 	// NoiseStd is the log-normal run-to-run noise (default 0.04).
 	NoiseStd float64
 }
@@ -258,13 +259,20 @@ func (s *Spark) WorkloadFeatures() map[string]float64 {
 }
 
 func (s *Spark) rng() *rand.Rand {
-	s.runs++
-	return rand.New(rand.NewSource(s.seed + s.runs*6364136223846793005))
+	return rand.New(rand.NewSource(s.seed + s.ReserveRuns(1)*6364136223846793005))
+}
+
+// ReserveRuns implements tune.ConcurrentTarget.
+func (s *Spark) ReserveRuns(n int64) int64 { return s.runs.Add(n) - n + 1 }
+
+// RunIndexed implements tune.ConcurrentTarget.
+func (s *Spark) RunIndexed(i int64, cfg tune.Config) tune.Result {
+	return s.simulate(cfg, rand.New(rand.NewSource(s.seed+i*6364136223846793005)), false, 0)
 }
 
 // Run implements tune.Target.
 func (s *Spark) Run(cfg tune.Config) tune.Result {
-	return s.simulate(cfg, s.rng(), false, 0)
+	return s.RunIndexed(s.ReserveRuns(1), cfg)
 }
 
 // Epochs implements tune.AdaptiveTarget: iterations (or batches) are the

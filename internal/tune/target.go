@@ -44,6 +44,24 @@ type Target interface {
 	Run(cfg Config) Result
 }
 
+// ConcurrentTarget is implemented by targets whose per-run noise stream is
+// keyed by a run index rather than by call order, allowing deterministic
+// parallel evaluation: the engine reserves a contiguous block of indices in
+// proposal order, fans the runs out to a worker pool, and merges results
+// back in index order. Because run i's noise depends only on (construction
+// seed, i, cfg), the merged trial sequence is bit-identical at any degree
+// of parallelism.
+type ConcurrentTarget interface {
+	Target
+	// ReserveRuns atomically claims n run indices and returns the first.
+	// Plain Run is equivalent to RunIndexed(ReserveRuns(1), cfg).
+	ReserveRuns(n int64) int64
+	// RunIndexed executes the workload once under cfg using run index i's
+	// noise stream. It must be safe for concurrent use and deterministic
+	// in (seed, i, cfg).
+	RunIndexed(i int64, cfg Config) Result
+}
+
 // SpecProvider is implemented by targets that can describe their hardware
 // and deployment (total RAM, cores, node count, disk and network bandwidth,
 // JVM heap, …). Rule-based tuners consult specs: "set the buffer pool to 25%

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 )
 
 // Budget caps the cost a tuner may spend on a target. Trials bounds the
@@ -77,11 +78,15 @@ var ErrBudgetExhausted = errors.New("tune: budget exhausted")
 
 // Session tracks trials against a budget on behalf of a tuner and maintains
 // the incumbent best. Tuners should evaluate configurations exclusively
-// through a session so accounting is uniform across categories.
+// through a session so accounting is uniform across categories. Sessions
+// are safe for concurrent use: the engine records trials from its driver
+// goroutine while monitors may read progress from others.
 type Session struct {
-	target  Target
-	budget  Budget
-	ctx     context.Context
+	target Target
+	budget Budget
+	ctx    context.Context
+
+	mu      sync.Mutex
 	trials  []Trial
 	simUsed float64
 	best    Config
@@ -98,10 +103,20 @@ func NewSession(ctx context.Context, target Target, budget Budget) *Session {
 }
 
 // Remaining returns how many trials the budget still admits.
-func (s *Session) Remaining() int { return s.budget.Trials - len(s.trials) }
+func (s *Session) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget.Trials - len(s.trials)
+}
 
 // Exhausted reports whether another trial is admissible.
 func (s *Session) Exhausted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exhaustedLocked()
+}
+
+func (s *Session) exhaustedLocked() bool {
 	if len(s.trials) >= s.budget.Trials {
 		return true
 	}
@@ -113,38 +128,49 @@ func (s *Session) Exhausted() bool {
 
 // Run evaluates cfg against the target, recording the trial. It returns
 // ErrBudgetExhausted when no budget remains and the context error if the
-// session was cancelled.
+// session was cancelled. The session lock is held across the run, so
+// concurrent Run calls serialize; parallel evaluation belongs to the engine,
+// which runs trials outside the session and merges them via RecordExternal.
 func (s *Session) Run(cfg Config) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	if s.Exhausted() {
+	if s.exhaustedLocked() {
 		return Result{}, ErrBudgetExhausted
 	}
 	res := s.target.Run(cfg)
-	s.simUsed += res.Time
-	s.trials = append(s.trials, Trial{N: len(s.trials) + 1, Config: cfg, Result: res})
-	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
-		s.best, s.bestRes, s.hasBest = cfg, res, true
-	}
+	s.recordLocked(cfg, res)
 	return res, nil
 }
 
 // RecordExternal records a trial whose result was obtained outside Run —
-// adaptive tuners drive tune.AdaptiveTarget.RunAdaptive directly and charge
-// the whole online run to the session as one trial, keeping cost accounting
-// uniform across categories.
-func (s *Session) RecordExternal(cfg Config, res Result) {
+// adaptive tuners drive tune.AdaptiveTarget.RunAdaptive directly, and the
+// concurrent engine evaluates batches on its worker pool; both charge the
+// run to the session so cost accounting stays uniform across categories.
+// It returns the recorded trial.
+func (s *Session) RecordExternal(cfg Config, res Result) Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordLocked(cfg, res)
+}
+
+func (s *Session) recordLocked(cfg Config, res Result) Trial {
 	s.simUsed += res.Time
-	s.trials = append(s.trials, Trial{N: len(s.trials) + 1, Config: cfg, Result: res})
+	t := Trial{N: len(s.trials) + 1, Config: cfg, Result: res}
+	s.trials = append(s.trials, t)
 	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
 		s.best, s.bestRes, s.hasBest = cfg, res, true
 	}
+	return t
 }
 
 // Best returns the incumbent configuration and result. If no trial was run
 // the target default is returned with a zero Result.
 func (s *Session) Best() (Config, Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.hasBest {
 		return s.target.Space().Default(), Result{}
 	}
@@ -152,10 +178,28 @@ func (s *Session) Best() (Config, Result) {
 }
 
 // Trials returns the recorded trials. The caller must not modify the slice.
-func (s *Session) Trials() []Trial { return s.trials }
+func (s *Session) Trials() []Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trials
+}
+
+// LastTrial returns the most recently recorded trial (zero Trial if none).
+func (s *Session) LastTrial() Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.trials) == 0 {
+		return Trial{}
+	}
+	return s.trials[len(s.trials)-1]
+}
 
 // SimTimeUsed returns the cumulative simulated seconds consumed.
-func (s *Session) SimTimeUsed() float64 { return s.simUsed }
+func (s *Session) SimTimeUsed() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simUsed
+}
 
 // Finish packages the session into a TuningResult for the named tuner.
 // If the session ran no trials, best falls back to the provided recommended
@@ -163,6 +207,8 @@ func (s *Session) SimTimeUsed() float64 { return s.simUsed }
 // recommend without running); callers may pass an invalid Config{} to use
 // the target default.
 func (s *Session) Finish(tuner string, recommended Config) *TuningResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res := &TuningResult{
 		Tuner:       tuner,
 		Target:      s.target.Name(),

@@ -2,11 +2,8 @@ package costmodel
 
 import (
 	"context"
-	"fmt"
 	"math"
 
-	"repro/internal/mathx/linalg"
-	"repro/internal/sysmodel/spark"
 	"repro/internal/tune"
 )
 
@@ -36,74 +33,13 @@ func ernestFeatures(m float64) []float64 {
 	return []float64{1, 1 / m, math.Log(m), m}
 }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *Ernest) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	if _, ok := target.(*spark.Spark); !ok {
-		return nil, fmt.Errorf("costmodel/ernest: target %q is not a Spark deployment", target.Name())
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	space := target.Space()
-	p, _ := space.Param(spark.NumExecutors)
-	maxExec := p.Max
-	points := t.TrainPoints
-	if points < 3 {
-		points = 5
-	}
-	if points > b.Trials-1 {
-		points = b.Trials - 1
-	}
-	if points < 3 {
-		return nil, fmt.Errorf("costmodel/ernest: budget %d too small (need ≥4 trials)", b.Trials)
-	}
-
-	// Sample small scales geometrically up to maxExec/2 (Ernest trains on
-	// cheap small configurations).
-	s := tune.NewSession(ctx, target, b)
-	base := space.Default()
-	var xs [][]float64
-	var ys []float64
-	var counts []float64
-	for i := 0; i < points; i++ {
-		frac := float64(i) / float64(points-1)
-		m := math.Round(1 + (maxExec/2-1)*math.Pow(frac, 1.5))
-		if m < 1 {
-			m = 1
-		}
-		cfg := base.WithNative(spark.NumExecutors, m)
-		res, err := s.Run(cfg)
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		if res.Failed {
-			continue
-		}
-		xs = append(xs, ernestFeatures(m))
-		ys = append(ys, res.Time)
-		counts = append(counts, m)
-	}
-	if len(xs) < 3 {
-		return s.Finish(t.Name(), tune.Config{}), nil
-	}
-	x := linalg.FromRows(xs)
-	theta := linalg.SolveNNLS(x, ys, 500)
-
-	// Predict across all feasible counts and pick the minimizer.
-	bestM, bestPred := counts[0], math.Inf(1)
-	for m := 1.0; m <= maxExec; m++ {
-		pred := linalg.Dot(theta, ernestFeatures(m))
-		if pred < bestPred {
-			bestPred, bestM = pred, m
-		}
-	}
-	rec := base.WithNative(spark.NumExecutors, bestM)
-	if !s.Exhausted() {
-		if _, err := s.Run(rec); err != nil && err != tune.ErrBudgetExhausted {
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), rec), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 var _ tune.Tuner = (*Ernest)(nil)

@@ -2,11 +2,8 @@ package costmodel
 
 import (
 	"context"
-	"fmt"
 	"math"
-	"math/rand"
 
-	"repro/internal/mathx/opt"
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/sysmodel/mapreduce"
 	"repro/internal/tune"
@@ -120,39 +117,13 @@ func Predict(job *workload.MRJob, cl *cluster.Cluster, cfg tune.Config) float64 
 }
 
 // Tune implements tune.Tuner: optimize the analytical model, then spend one
-// real run (if budgeted) verifying the winner.
+// real run (if budgeted) verifying the winner, via the ask/tell adapter.
 func (t *Starfish) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	h, ok := target.(*mapreduce.Hadoop)
-	if !ok {
-		return nil, fmt.Errorf("costmodel/starfish: target %q is not a Hadoop deployment", target.Name())
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	job, cl := h.Job(), h.Cluster()
-	space := target.Space()
-	budget := t.SearchBudget
-	if budget <= 0 {
-		budget = 3000
-	}
-	rng := rand.New(rand.NewSource(t.Seed + 17))
-	best := opt.RecursiveRandomSearch(func(x []float64) float64 {
-		return Predict(job, cl, space.FromVector(x))
-	}, space.Dim(), budget, rng)
-	rec := space.FromVector(best.X)
-
-	s := tune.NewSession(ctx, target, b)
-	if b.Trials > 0 {
-		if res, err := s.Run(rec); err == nil && res.Failed {
-			// The model recommended an infeasible point: repair by halving
-			// memory demands and retry once.
-			repaired := rec.WithNative(mapreduce.IOSortMB, rec.Float(mapreduce.IOSortMB)/2).
-				WithNative(mapreduce.MapSlots, float64(rec.Int(mapreduce.MapSlots))/2)
-			if _, err := s.Run(repaired); err != nil && err != tune.ErrBudgetExhausted {
-				return nil, err
-			}
-		} else if err != nil && err != tune.ErrBudgetExhausted {
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), rec), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 var _ tune.Tuner = (*Starfish)(nil)

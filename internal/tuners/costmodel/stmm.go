@@ -45,8 +45,17 @@ func NewSTMM() *STMM { return &STMM{Step: 64, Iterations: 200} }
 // Name implements tune.Tuner.
 func (t *STMM) Name() string { return "costmodel/stmm" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *STMM) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
+}
+
+// recommend performs the analytical memory balancing.
+func (t *STMM) recommend(target tune.Target) tune.Config {
 	space := target.Space()
 	specs := map[string]float64{}
 	if sp, ok := target.(tune.SpecProvider); ok {
@@ -126,14 +135,7 @@ func (t *STMM) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tu
 	if _, ok := space.Param("wal_buffer_mb"); ok && features["update_frac"] > 0.05 {
 		rec = rec.WithNative("wal_buffer_mb", 32)
 	}
-
-	s := tune.NewSession(ctx, target, b)
-	if b.Trials > 0 {
-		if _, err := s.Run(rec); err != nil && err != tune.ErrBudgetExhausted {
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), rec), nil
+	return rec
 }
 
 var _ tune.Tuner = (*STMM)(nil)

@@ -40,19 +40,13 @@ type Random struct {
 // Name implements tune.Tuner.
 func (t *Random) Name() string { return "experiment/random" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *Random) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	rng := rand.New(rand.NewSource(t.Seed))
-	s := tune.NewSession(ctx, target, b)
-	for !s.Exhausted() {
-		if _, err := s.Run(target.Space().Random(rng)); err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 // Grid sweeps a full factorial grid over the TopK highest-impact parameters
@@ -64,41 +58,13 @@ type Grid struct {
 // Name implements tune.Tuner.
 func (t *Grid) Name() string { return "experiment/grid" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *Grid) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	k := t.TopK
-	if k <= 0 {
-		k = 3
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	if k > space.Dim() {
-		k = space.Dim()
-	}
-	levels := int(math.Floor(math.Pow(float64(b.Trials), 1/float64(k))))
-	if levels < 2 {
-		levels = 2
-	}
-	ranked := space.ByImpact()[:k]
-	idx := make([]int, k)
-	for i, name := range ranked {
-		idx[i] = space.IndexOf(name)
-	}
-	points := sample.Grid(levels, k)
-	s := tune.NewSession(ctx, target, b)
-	base := space.Default().Vector()
-	for _, p := range points {
-		x := append([]float64(nil), base...)
-		for i, v := range p {
-			x[idx[i]] = v
-		}
-		if _, err := s.Run(space.FromVector(x)); err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 // RRS wraps recursive random search over real runs.
@@ -356,6 +322,9 @@ type ITuned struct {
 	InitLHS int
 	// Kernel selects the GP kernel (default Matérn 5/2).
 	Kernel gp.KernelKind
+	// Batch is how many candidates each GP round proposes (default 4);
+	// the concurrent engine evaluates them in parallel.
+	Batch int
 }
 
 // NewITuned returns an iTuned tuner with defaults.
@@ -364,81 +333,13 @@ func NewITuned(seed int64) *ITuned { return &ITuned{Seed: seed, Kernel: gp.Mater
 // Name implements tune.Tuner.
 func (t *ITuned) Name() string { return "experiment/ituned" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *ITuned) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	d := space.Dim()
-	rng := rand.New(rand.NewSource(t.Seed))
-	s := tune.NewSession(ctx, target, b)
-
-	initN := t.InitLHS
-	if initN <= 0 {
-		initN = b.Trials / 3
-		if initN > 10 {
-			initN = 10
-		}
-		if initN < 4 {
-			initN = 4
-		}
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	var xs [][]float64
-	var ys []float64
-	record := func(x []float64, obj float64) {
-		xs = append(xs, x)
-		ys = append(ys, obj)
-	}
-	for _, p := range sample.LatinHypercube(initN, d, rng) {
-		if s.Exhausted() {
-			break
-		}
-		res, err := s.Run(space.FromVector(p))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		record(p, res.Objective())
-	}
-
-	for !s.Exhausted() {
-		model := gp.New(t.Kernel)
-		if err := model.Fit(xs, ys, len(xs) <= 60); err != nil {
-			// Degenerate surface: fall back to random.
-			cfg := space.Random(rng)
-			res, rerr := s.Run(cfg)
-			if rerr != nil {
-				if rerr == tune.ErrBudgetExhausted {
-					break
-				}
-				return nil, rerr
-			}
-			record(cfg.Vector(), res.Objective())
-			continue
-		}
-		_, bestRes := s.Best()
-		incumbent := bestRes.Objective()
-		// Maximize EI (minimize −EI) with multistart Nelder–Mead seeded at
-		// the incumbent.
-		bestCfg, _ := s.Best()
-		seeds := [][]float64{bestCfg.Vector()}
-		next := opt.MultiStart(func(x []float64) float64 {
-			return -model.ExpectedImprovement(x, incumbent)
-		}, d, 6, 60, seeds, rng)
-		x := next.X
-		if next.F >= 0 { // no positive EI anywhere: explore
-			x = randPoint(d, rng)
-		}
-		res, err := s.Run(space.FromVector(x))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		record(x, res.Objective())
-	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 func randPoint(d int, rng *rand.Rand) []float64 {

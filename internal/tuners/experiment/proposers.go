@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mathx/gp"
+	"repro/internal/mathx/opt"
+	"repro/internal/mathx/sample"
+	"repro/internal/tune"
+)
+
+// This file holds the ask/tell (propose–observe) forms of the batchable
+// experiment-driven tuners. Random and Grid are embarrassingly batchable;
+// iTuned batches its Latin-hypercube initialization outright and its GP
+// phase through a constant-liar-style penalized EI that keeps within-batch
+// candidates apart. RRS, SARD and AdaptiveSampling stay sequential: their
+// next experiment depends on the previous result through recursive search
+// state that has no natural batch form.
+
+// randomProposer streams uniform random configurations.
+type randomProposer struct {
+	space *tune.Space
+	rng   *rand.Rand
+}
+
+// NewProposer implements tune.BatchTuner.
+func (t *Random) NewProposer(target tune.Target, b tune.Budget) (tune.Proposer, error) {
+	return &randomProposer{space: target.Space(), rng: rand.New(rand.NewSource(t.Seed))}, nil
+}
+
+func (p *randomProposer) Propose(n int) []tune.Config {
+	out := make([]tune.Config, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, p.space.Random(p.rng))
+	}
+	return out
+}
+
+func (p *randomProposer) Observe(tune.Trial) {}
+
+// gridProposer walks a precomputed factorial design.
+type gridProposer struct {
+	pending []tune.Config
+}
+
+// NewProposer implements tune.BatchTuner.
+func (t *Grid) NewProposer(target tune.Target, b tune.Budget) (tune.Proposer, error) {
+	space := target.Space()
+	k := t.TopK
+	if k <= 0 {
+		k = 3
+	}
+	if k > space.Dim() {
+		k = space.Dim()
+	}
+	levels := int(math.Floor(math.Pow(float64(b.Trials), 1/float64(k))))
+	if levels < 2 {
+		levels = 2
+	}
+	ranked := space.ByImpact()[:k]
+	idx := make([]int, k)
+	for i, name := range ranked {
+		idx[i] = space.IndexOf(name)
+	}
+	base := space.Default().Vector()
+	var pending []tune.Config
+	for _, p := range sample.Grid(levels, k) {
+		x := append([]float64(nil), base...)
+		for i, v := range p {
+			x[idx[i]] = v
+		}
+		pending = append(pending, space.FromVector(x))
+	}
+	return &gridProposer{pending: pending}, nil
+}
+
+func (p *gridProposer) Propose(n int) []tune.Config { return tune.ProposeFixed(&p.pending, n) }
+
+func (p *gridProposer) Observe(tune.Trial) {}
+
+// itunedProposer is iTuned in ask/tell form: a Latin-hypercube design
+// proposed as one batch, then GP/EI rounds of up to Batch candidates. The
+// within-round candidates are separated by penalizing EI near already-
+// chosen points (a liar-free stand-in for q-EI), so a round's proposals
+// depend only on observed history — never on worker scheduling.
+type itunedProposer struct {
+	t     *ITuned
+	space *tune.Space
+	rng   *rand.Rand
+	batch int
+
+	pending   []tune.Config
+	xs        [][]float64
+	ys        []float64
+	bestX     []float64
+	incumbent float64
+}
+
+// NewProposer implements tune.BatchTuner.
+func (t *ITuned) NewProposer(target tune.Target, b tune.Budget) (tune.Proposer, error) {
+	space := target.Space()
+	d := space.Dim()
+	rng := rand.New(rand.NewSource(t.Seed))
+	initN := t.InitLHS
+	if initN <= 0 {
+		initN = b.Trials / 3
+		if initN > 10 {
+			initN = 10
+		}
+		if initN < 4 {
+			initN = 4
+		}
+	}
+	batch := t.Batch
+	if batch <= 0 {
+		batch = 4
+	}
+	p := &itunedProposer{t: t, space: space, rng: rng, batch: batch, incumbent: math.Inf(1)}
+	for _, x := range sample.LatinHypercube(initN, d, rng) {
+		p.pending = append(p.pending, space.FromVector(x))
+	}
+	return p, nil
+}
+
+func (p *itunedProposer) Propose(n int) []tune.Config {
+	if len(p.pending) > 0 {
+		return tune.ProposeFixed(&p.pending, n)
+	}
+	if n <= 0 {
+		return nil
+	}
+	d := p.space.Dim()
+	kernel := p.t.Kernel
+	model := gp.New(kernel)
+	if err := model.Fit(p.xs, p.ys, len(p.xs) <= 60); err != nil {
+		// Degenerate surface: fall back to one random probe.
+		return []tune.Config{p.space.Random(p.rng)}
+	}
+	k := p.batch
+	if k > n {
+		k = n
+	}
+	out := make([]tune.Config, 0, k)
+	var chosen [][]float64
+	for i := 0; i < k; i++ {
+		next := opt.MultiStart(func(x []float64) float64 {
+			v := -model.ExpectedImprovement(x, p.incumbent)
+			// Shrink EI near points already picked this round so the batch
+			// spreads out instead of piling onto one optimum.
+			for _, c := range chosen {
+				v *= 1 - math.Exp(-sqDist(x, c)/(0.15*0.15))
+			}
+			return v
+		}, d, 6, 60, [][]float64{p.bestX}, p.rng)
+		x := next.X
+		if next.F >= 0 { // no positive EI left: explore
+			x = randPoint(d, p.rng)
+		}
+		chosen = append(chosen, x)
+		out = append(out, p.space.FromVector(x))
+	}
+	return out
+}
+
+func (p *itunedProposer) Observe(t tune.Trial) {
+	x := t.Config.Vector()
+	y := t.Result.Objective()
+	p.xs = append(p.xs, x)
+	p.ys = append(p.ys, y)
+	if y < p.incumbent {
+		p.incumbent, p.bestX = y, x
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ tune.BatchTuner = (*Random)(nil)
+	_ tune.BatchTuner = (*Grid)(nil)
+	_ tune.BatchTuner = (*ITuned)(nil)
+)

@@ -2,11 +2,7 @@ package ml
 
 import (
 	"context"
-	"math/rand"
 
-	"repro/internal/mathx/nn"
-	"repro/internal/mathx/opt"
-	"repro/internal/mathx/sample"
 	"repro/internal/tune"
 )
 
@@ -33,74 +29,13 @@ func NewNeuralTuner(seed int64) *NeuralTuner {
 // Name implements tune.Tuner.
 func (t *NeuralTuner) Name() string { return "ml/neural" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *NeuralTuner) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	d := space.Dim()
-	rng := rand.New(rand.NewSource(t.Seed))
-	s := tune.NewSession(ctx, target, b)
-
-	initN := t.InitObs
-	if initN <= 0 {
-		initN = 2 * d
-		if initN < 6 {
-			initN = 6
-		}
-		if initN > b.Trials/2 && b.Trials >= 4 {
-			initN = b.Trials / 2
-		}
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	var xs [][]float64
-	var ys []float64
-	for _, p := range sample.LatinHypercube(initN, d, rng) {
-		if s.Exhausted() {
-			break
-		}
-		res, err := s.Run(space.FromVector(p))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		xs = append(xs, p)
-		ys = append(ys, res.Objective())
-	}
-
-	hidden := t.Hidden
-	if hidden <= 0 {
-		hidden = 24
-	}
-	eps := t.Epsilon
-	if eps <= 0 {
-		eps = 0.2
-	}
-	for !s.Exhausted() {
-		var x []float64
-		if len(xs) >= 4 && rng.Float64() >= eps {
-			net := nn.NewMLP(rand.New(rand.NewSource(t.Seed+int64(len(xs)))), d, hidden, hidden, 1)
-			net.Train(xs, ys, 150, 0.01)
-			best := opt.RecursiveRandomSearch(func(p []float64) float64 {
-				return net.Predict(p)
-			}, d, 600, rng)
-			x = best.X
-		} else {
-			x = make([]float64, d)
-			for i := range x {
-				x[i] = rng.Float64()
-			}
-		}
-		res, err := s.Run(space.FromVector(x))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		xs = append(xs, x)
-		ys = append(ys, res.Objective())
-	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 var _ tune.Tuner = (*NeuralTuner)(nil)

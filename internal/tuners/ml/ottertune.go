@@ -23,10 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/mathx/cluster"
-	"repro/internal/mathx/gp"
 	"repro/internal/mathx/lasso"
-	"repro/internal/mathx/opt"
-	"repro/internal/mathx/sample"
 	"repro/internal/tune"
 )
 
@@ -43,6 +40,9 @@ type OtterTune struct {
 	// InitObs is the number of initial observations on the new target
 	// (default 5).
 	InitObs int
+	// Batch is how many candidates each GP round proposes (default 4);
+	// the concurrent engine evaluates them in parallel.
+	Batch int
 
 	// LastKnobRanking records the most recent Lasso knob ranking.
 	LastKnobRanking []string
@@ -260,148 +260,13 @@ func sessionSignature(s tune.SessionRecord, pruned []string) map[string]float64 
 	return sig
 }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *OtterTune) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	d := space.Dim()
-	rng := rand.New(rand.NewSource(t.Seed))
-	s := tune.NewSession(ctx, target, b)
-
-	var sessions []tune.SessionRecord
-	if t.Repo != nil {
-		sessions = t.Repo.ForSystem(system(target.Name()))
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-
-	// Offline phase: metric pruning + knob ranking from the repository.
-	keep := t.PrunedMetrics
-	if keep <= 0 {
-		keep = 6
-	}
-	pruned := pruneMetrics(sessions, keep, rng)
-	t.LastPrunedMetrics = pruned
-	ranking := rankKnobs(space, sessions)
-	t.LastKnobRanking = ranking
-	topK := t.TopKnobs
-	if topK <= 0 {
-		topK = 8
-	}
-	if topK > len(ranking) {
-		topK = len(ranking)
-	}
-	active := make([]int, topK)
-	for i, n := range ranking[:topK] {
-		active[i] = space.IndexOf(n)
-	}
-
-	// Initial observations on the target.
-	initN := t.InitObs
-	if initN <= 0 {
-		initN = 5
-	}
-	var xs [][]float64
-	var ys []float64
-	observed := map[string]float64{}
-	nObs := 0.0
-	addObs := func(x []float64, res tune.Result) {
-		xs = append(xs, x)
-		ys = append(ys, res.Objective())
-		for k, v := range res.Metrics {
-			observed[k] += v
-		}
-		nObs++
-	}
-	init := sample.LatinHypercube(initN, d, rng)
-	init = append([][]float64{space.Default().Vector()}, init...)
-	for _, p := range init {
-		if s.Exhausted() {
-			break
-		}
-		res, err := s.Run(space.FromVector(p))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		addObs(p, res)
-	}
-
-	// Workload mapping: borrow the nearest past workload's observations.
-	var mappedX [][]float64
-	var mappedY []float64
-	if len(sessions) > 0 && nObs > 0 {
-		avg := make(map[string]float64, len(observed))
-		for k, v := range observed {
-			avg[k] = v / nObs
-		}
-		if at := mapWorkload(sessions, pruned, avg); at >= 0 {
-			sess := sessions[at]
-			t.LastMappedWorkload = sess.Workload
-			if len(sess.ParamNames) == d {
-				var vals []float64
-				for _, tr := range sess.Trials {
-					vals = append(vals, tr.Time)
-				}
-				// Rescale the mapped session's surface to the target's
-				// observed level so the GP sees one coherent objective.
-				// Median/IQR scaling keeps failure-penalized outliers in
-				// either sample from distorting the transfer.
-				tm, tsd := medianIQR(vals)
-				om, osd := medianIQR(ys)
-				for _, tr := range sess.Trials {
-					mappedX = append(mappedX, tr.Vector)
-					mappedY = append(mappedY, om+(tr.Time-tm)/tsd*osd)
-				}
-			}
-		}
-	}
-
-	// Online loop: GP over mapped + own data, EI over the active knobs.
-	for !s.Exhausted() {
-		gx := append(append([][]float64(nil), mappedX...), xs...)
-		gy := append(append([]float64(nil), mappedY...), ys...)
-		model := gp.New(gp.Matern52)
-		if err := model.Fit(gx, gy, len(gx) <= 80); err != nil {
-			cfg := space.Random(rng)
-			res, rerr := s.Run(cfg)
-			if rerr != nil {
-				if rerr == tune.ErrBudgetExhausted {
-					break
-				}
-				return nil, rerr
-			}
-			addObs(cfg.Vector(), res)
-			continue
-		}
-		bestCfg, bestRes := s.Best()
-		base := bestCfg.Vector()
-		incumbent := bestRes.Objective()
-		next := opt.MultiStart(func(sub []float64) float64 {
-			x := append([]float64(nil), base...)
-			for i, v := range sub {
-				x[active[i]] = v
-			}
-			return -model.ExpectedImprovement(x, incumbent)
-		}, topK, 6, 50, [][]float64{subVector(base, active)}, rng)
-		x := append([]float64(nil), base...)
-		for i, v := range next.X {
-			x[active[i]] = v
-		}
-		if next.F >= 0 {
-			for _, j := range active {
-				x[j] = rng.Float64()
-			}
-		}
-		res, err := s.Run(space.FromVector(x))
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		addObs(x, res)
-	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 func subVector(x []float64, idx []int) []float64 {

@@ -25,47 +25,15 @@ func NewNavigator() *Navigator { return &Navigator{TopK: 5, Levels: 4} }
 // Name implements tune.Tuner.
 func (n *Navigator) Name() string { return "rules/navigator" }
 
-// Tune implements tune.Tuner: one-at-a-time sweeps over the highest-impact
-// parameters, keeping each parameter's best value before moving on.
+// Tune implements tune.Tuner via the generic ask/tell adapter: one-at-a-
+// time sweeps over the highest-impact parameters, keeping each parameter's
+// best value before moving on.
 func (n *Navigator) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	topK := n.TopK
-	if topK <= 0 {
-		topK = 5
-	}
-	levels := n.Levels
-	if levels < 2 {
-		levels = 4
-	}
-	space := target.Space()
-	ranked := space.ByImpact()
-	if topK > len(ranked) {
-		topK = len(ranked)
-	}
-	s := tune.NewSession(ctx, target, b)
-	cur := space.Default()
-	if _, err := s.Run(cur); err != nil && err != tune.ErrBudgetExhausted {
+	p, err := n.NewProposer(target, b)
+	if err != nil {
 		return nil, err
 	}
-	for _, name := range ranked[:topK] {
-		if s.Exhausted() {
-			break
-		}
-		bestCfg, _ := s.Best()
-		cur = bestCfg
-		// Sweep the parameter across its range in unit-cube coordinates.
-		idx := space.IndexOf(name)
-		for l := 0; l < levels && !s.Exhausted(); l++ {
-			x := cur.Vector()
-			x[idx] = (float64(l) + 0.5) / float64(levels)
-			if _, err := s.Run(space.FromVector(x)); err != nil {
-				if err == tune.ErrBudgetExhausted {
-					break
-				}
-				return nil, err
-			}
-		}
-	}
-	return s.Finish(n.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, n.Name(), target, b, p)
 }
 
 var (

@@ -66,28 +66,13 @@ func NewTuner(book *Rulebook) *Tuner { return &Tuner{Book: book} }
 // Name implements tune.Tuner.
 func (t *Tuner) Name() string { return "rules/" + t.Book.System }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *Tuner) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	var specs, features map[string]float64
-	if sp, ok := target.(tune.SpecProvider); ok {
-		specs = sp.Specs()
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	if d, ok := target.(tune.Describer); ok {
-		features = d.WorkloadFeatures()
-	}
-	rec := t.Book.Apply(target.Space(), specs, features)
-	s := tune.NewSession(ctx, target, b)
-	if b.Trials > 0 {
-		if res, err := s.Run(rec); err == nil && res.Failed {
-			// The advice crashed this deployment: retreat to defaults.
-			if _, err := s.Run(target.Space().Default()); err != nil && err != tune.ErrBudgetExhausted {
-				return nil, err
-			}
-		} else if err != nil && err != tune.ErrBudgetExhausted {
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), rec), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 // clampMin returns v, at least lo.

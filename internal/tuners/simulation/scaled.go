@@ -3,9 +3,7 @@ package simulation
 import (
 	"context"
 	"math"
-	"math/rand"
 
-	"repro/internal/mathx/opt"
 	"repro/internal/tune"
 )
 
@@ -36,62 +34,13 @@ func NewScaledProxy(proxy tune.Target, seed int64) *ScaledProxy {
 // Name implements tune.Tuner.
 func (t *ScaledProxy) Name() string { return "simulation/scaled-proxy" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *ScaledProxy) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	rng := rand.New(rand.NewSource(t.Seed + 7))
-	budget := t.SearchBudget
-	if budget <= 0 {
-		budget = 400
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	// Keep the best few distinct proxy candidates.
-	type cand struct {
-		x []float64
-		f float64
-	}
-	verify := t.Verify
-	if verify <= 0 {
-		verify = 3
-	}
-	var top []cand
-	consider := func(x []float64, f float64) {
-		for i, c := range top {
-			if distance(c.x, x) < 0.05 {
-				if f < c.f {
-					top[i] = cand{append([]float64(nil), x...), f}
-				}
-				return
-			}
-		}
-		top = append(top, cand{append([]float64(nil), x...), f})
-		// Insertion sort by f; trim.
-		for i := len(top) - 1; i > 0 && top[i].f < top[i-1].f; i-- {
-			top[i], top[i-1] = top[i-1], top[i]
-		}
-		if len(top) > verify {
-			top = top[:verify]
-		}
-	}
-	opt.RecursiveRandomSearch(func(x []float64) float64 {
-		res := t.Proxy.Run(space.FromVector(x))
-		f := res.Objective()
-		consider(x, f)
-		return f
-	}, space.Dim(), budget, rng)
-
-	s := tune.NewSession(ctx, target, b)
-	for _, c := range top {
-		if s.Exhausted() {
-			break
-		}
-		if _, err := s.Run(space.FromVector(c.x)); err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), tune.Config{}), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 func distance(a, b []float64) float64 {

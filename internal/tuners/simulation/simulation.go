@@ -21,9 +21,7 @@ package simulation
 import (
 	"context"
 	"math"
-	"math/rand"
 
-	"repro/internal/mathx/opt"
 	"repro/internal/sysmodel/trace"
 	"repro/internal/tune"
 )
@@ -48,58 +46,13 @@ func NewTraceWhatIf(seed int64) *TraceWhatIf {
 // Name implements tune.Tuner.
 func (t *TraceWhatIf) Name() string { return "simulation/trace-whatif" }
 
-// Tune implements tune.Tuner.
+// Tune implements tune.Tuner via the generic ask/tell adapter.
 func (t *TraceWhatIf) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
-	space := target.Space()
-	specs := map[string]float64{}
-	if sp, ok := target.(tune.SpecProvider); ok {
-		specs = sp.Specs()
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
 	}
-	s := tune.NewSession(ctx, target, b)
-
-	// Capture: run the default configuration instrumented.
-	probe := space.Default()
-	probes := t.ProbeRuns
-	if probes < 1 {
-		probes = 1
-	}
-	var captured *trace.Trace
-	for i := 0; i < probes && !s.Exhausted(); i++ {
-		res, err := s.Run(probe)
-		if err != nil {
-			if err == tune.ErrBudgetExhausted {
-				break
-			}
-			return nil, err
-		}
-		// TraceFromMetrics recovers cache-independent demand from the
-		// observed hit ratio, so replay can re-apply any hypothetical
-		// cache size.
-		captured = TraceFromMetrics(res.Metrics, specs)
-	}
-	if captured == nil {
-		return s.Finish(t.Name(), tune.Config{}), nil
-	}
-
-	rng := rand.New(rand.NewSource(t.Seed + 99))
-	replayCost := func(x []float64) float64 {
-		cfg := space.FromVector(x)
-		res := ResourcesFor(cfg, specs)
-		return trace.Replay(captured, res)
-	}
-	budget := t.SearchBudget
-	if budget <= 0 {
-		budget = 2000
-	}
-	best := opt.RecursiveRandomSearch(replayCost, space.Dim(), budget, rng)
-	rec := space.FromVector(best.X)
-
-	if !s.Exhausted() {
-		if _, err := s.Run(rec); err != nil && err != tune.ErrBudgetExhausted {
-			return nil, err
-		}
-	}
-	return s.Finish(t.Name(), rec), nil
+	return tune.DriveProposer(ctx, t.Name(), target, b, p)
 }
 
 // TraceFromMetrics reconstructs a resource trace from one run's counters.
