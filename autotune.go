@@ -1,41 +1,39 @@
 // Package repro is the public facade of the autotune library: a faithful,
 // runnable reproduction of "Speedup Your Analytics: Automatic Parameter
 // Tuning for Databases and Big Data Systems" (Lu, Chen, Herodotou, Babu;
-// PVLDB 12(12), 2019).
+// PVLDB 12(12), 2019), grown into a servable tuning system.
 //
 // The facade wires together the three simulated systems (DBMS, Hadoop
 // MapReduce, Spark), the workload suite, and one tuner per surveyed
-// methodology across the paper's six categories. Construct a target with
-// NewTarget, pick a tuner with NewTuner, and call Tune:
+// methodology across the paper's six categories. The blocking path
+// constructs a target and tuner by name and tunes synchronously:
 //
 //	target, _ := repro.NewTarget("dbms", "tpch", 42)
 //	tuner, _ := repro.NewTuner("ituned", repro.TunerOptions{Seed: 42})
 //	result, _ := tuner.Tune(context.Background(), target, tune.Budget{Trials: 30})
 //
-// Everything underneath lives in internal/ packages; see DESIGN.md for the
-// architecture and EXPERIMENTS.md for the paper-versus-measured record.
+// The session-handle path describes the same run declaratively and returns
+// a live handle with an ordered event stream and pause/resume/stop control
+// (identical results for the same spec and seed, at any parallelism):
+//
+//	run, _ := repro.Start(ctx, repro.Spec{
+//		System: "dbms", Workload: "tpch", Tuner: "ituned",
+//		Seed: 42, Budget: repro.Budget{Trials: 30},
+//	})
+//	for ev := range run.Events() { ... }
+//	result, _ := run.Wait(ctx)
+//
+// External systems and algorithms plug in by name through RegisterTarget
+// and RegisterTuner; cmd/autotuned serves Start over HTTP/JSON with
+// server-sent event streams. Everything underneath lives in internal/
+// packages; see DESIGN.md for the architecture.
 package repro
 
 import (
 	"context"
-	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/engine"
-	"repro/internal/sysmodel/cluster"
-	"repro/internal/sysmodel/dbms"
-	"repro/internal/sysmodel/mapreduce"
-	"repro/internal/sysmodel/paralleldb"
-	"repro/internal/sysmodel/spark"
 	"repro/internal/tune"
-	"repro/internal/tuners/adaptive"
-	"repro/internal/tuners/costmodel"
-	"repro/internal/tuners/experiment"
-	"repro/internal/tuners/ml"
-	"repro/internal/tuners/rulebased"
-	"repro/internal/tuners/simulation"
-	"repro/internal/workload"
 )
 
 // Re-exported core types so callers work entirely through this package.
@@ -56,15 +54,43 @@ type (
 	Proposer = tune.Proposer
 	// BatchTuner is a Tuner that also exposes ask/tell proposal.
 	BatchTuner = tune.BatchTuner
-	// Job is one (target, tuner) session for TuneJobs.
+	// Job is one (target, tuner) session for TuneJobs and Engine.Submit.
 	Job = engine.Job
 	// JobResult pairs a Job with its outcome.
 	JobResult = engine.JobResult
+	// Event is one entry in a session's ordered event stream.
+	Event = tune.Event
+	// EventKind names one kind of session event.
+	EventKind = tune.EventKind
+	// Run is the live handle to a submitted tuning session: an ordered
+	// Events() stream, Pause/Resume/Stop control, and Wait for the result.
+	Run = engine.Run
+	// RunState describes where a Run is in its lifecycle.
+	RunState = engine.RunState
+)
+
+// The ordered event vocabulary emitted by a session, re-exported from the
+// core: for a fixed spec and seed the sequence is byte-identical at any
+// parallelism.
+const (
+	TrialStarted      = tune.TrialStarted
+	TrialDone         = tune.TrialDone
+	IncumbentImproved = tune.IncumbentImproved
+	SessionDone       = tune.SessionDone
+)
+
+// Run lifecycle states, re-exported from the engine.
+const (
+	RunPending = engine.RunPending
+	RunRunning = engine.RunRunning
+	RunPaused  = engine.RunPaused
+	RunDone    = engine.RunDone
+	RunFailed  = engine.RunFailed
 )
 
 // Engine is the concurrent tuning engine; EngineOptions configures it.
-// NewEngine is the full-control constructor — Tune and TuneJobs below are
-// the common-case conveniences.
+// NewEngine is the full-control constructor — Tune, TuneJobs, and Start
+// below are the common-case conveniences.
 type (
 	Engine        = engine.Engine
 	EngineOptions = engine.Options
@@ -77,7 +103,8 @@ func NewEngine(o EngineOptions) *Engine { return engine.New(o) }
 // given parallelism (≤1 or 0 means sequential). Ask/tell tuners fan each
 // proposed batch out to a worker pool; inherently sequential tuners run
 // through their blocking Tune unchanged. For a fixed seed the result is
-// identical at any parallelism.
+// identical at any parallelism — and identical to what the session-handle
+// path (Start) produces for the equivalent Spec.
 func Tune(ctx context.Context, target Target, tuner Tuner, b Budget, parallel int) (*TuningResult, error) {
 	if parallel <= 0 {
 		parallel = 1
@@ -93,241 +120,4 @@ func TuneJobs(ctx context.Context, jobs []Job, parallel int) []JobResult {
 		parallel = 1
 	}
 	return engine.New(engine.Options{Workers: parallel}).RunJobs(ctx, jobs)
-}
-
-// Systems lists the systems NewTarget accepts.
-func Systems() []string { return []string{"dbms", "hadoop", "spark", "paralleldb"} }
-
-// Workloads lists the workload names each system accepts.
-func Workloads(system string) []string {
-	switch system {
-	case "dbms":
-		return []string{"tpch", "oltp", "mixed"}
-	case "hadoop", "paralleldb":
-		return []string{"grep", "aggregation", "join", "wordcount", "terasort"}
-	case "spark":
-		return []string{"wordcount", "terasort", "pagerank", "kmeans", "streaming"}
-	}
-	return nil
-}
-
-// TargetOptions controls target construction.
-type TargetOptions struct {
-	// ScaleGB is the input scale in GB (default: system-specific).
-	ScaleGB float64
-	// Nodes is the cluster size for distributed systems (default 16).
-	Nodes int
-	// Heterogeneous selects a mixed node fleet.
-	Heterogeneous bool
-	// TenantLoad adds multi-tenant background interference (0–0.9).
-	TenantLoad float64
-	// FullSparkSpace exposes Spark's ~200-parameter surface.
-	FullSparkSpace bool
-}
-
-// NewTarget builds a simulated system bound to a named workload.
-func NewTarget(system, wl string, seed int64, opts ...TargetOptions) (Target, error) {
-	var o TargetOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	nodes := o.Nodes
-	if nodes <= 0 {
-		nodes = 16
-	}
-	var cl *cluster.Cluster
-	if o.Heterogeneous {
-		cl = cluster.Heterogeneous(nodes)
-	} else {
-		cl = cluster.Commodity(nodes)
-	}
-	if o.TenantLoad > 0 {
-		cl = cl.MultiTenant(o.TenantLoad, o.TenantLoad/2)
-	}
-	scale := func(def float64) float64 {
-		if o.ScaleGB > 0 {
-			return o.ScaleGB
-		}
-		return def
-	}
-	switch system {
-	case "dbms":
-		var w *workload.DBWorkload
-		switch wl {
-		case "tpch":
-			w = workload.TPCHLike(scale(10))
-		case "oltp":
-			w = workload.OLTP(64, scale(4))
-		case "mixed":
-			w = workload.MixedDB(scale(6))
-		default:
-			return nil, fmt.Errorf("repro: unknown dbms workload %q (have %s)", wl, strings.Join(Workloads("dbms"), ", "))
-		}
-		d := dbms.New(cluster.CommodityNode(), w, seed)
-		if o.TenantLoad > 0 {
-			d.Tenant = cl
-		}
-		return d, nil
-	case "hadoop", "paralleldb":
-		job, err := mrJob(system, wl, scale(20))
-		if err != nil {
-			return nil, err
-		}
-		if system == "paralleldb" {
-			return paralleldb.New(cl, job, seed), nil
-		}
-		return mapreduce.New(cl, job, seed), nil
-	case "spark":
-		var job *workload.SparkJob
-		switch wl {
-		case "wordcount":
-			job = workload.WordCountSpark(scale(20))
-		case "terasort":
-			job = workload.TeraSortSpark(scale(20))
-		case "pagerank":
-			job = workload.PageRank(scale(5), 8)
-		case "kmeans":
-			job = workload.KMeansSpark(scale(8), 10)
-		case "streaming":
-			job = workload.StreamingAgg(scale(2)*1024, 20, 10)
-		default:
-			return nil, fmt.Errorf("repro: unknown spark workload %q (have %s)", wl, strings.Join(Workloads("spark"), ", "))
-		}
-		if o.FullSparkSpace {
-			return spark.NewFull(cl, job, seed), nil
-		}
-		return spark.New(cl, job, seed), nil
-	}
-	return nil, fmt.Errorf("repro: unknown system %q (have %s)", system, strings.Join(Systems(), ", "))
-}
-
-func mrJob(system, wl string, gb float64) (*workload.MRJob, error) {
-	switch wl {
-	case "grep":
-		return workload.Grep(gb), nil
-	case "aggregation":
-		return workload.Aggregation(gb), nil
-	case "join":
-		return workload.JoinMR(gb), nil
-	case "wordcount":
-		return workload.WordCount(gb), nil
-	case "terasort":
-		return workload.TeraSort(gb), nil
-	}
-	return nil, fmt.Errorf("repro: unknown %s workload %q (have %s)", system, wl, strings.Join(Workloads(system), ", "))
-}
-
-// TunerOptions controls tuner construction.
-type TunerOptions struct {
-	// Seed drives the tuner's randomness.
-	Seed int64
-	// Repo supplies past sessions to repository-based tuners (ottertune,
-	// recommender); nil is allowed.
-	Repo *Repository
-	// TargetName helps rule-based tuners pick a rulebook ("dbms/tpch").
-	TargetName string
-	// Proxy is the scaled replica required by the "scaled-proxy" tuner.
-	Proxy Target
-}
-
-// tunerDoc describes one available tuner.
-type tunerDoc struct {
-	Category string
-	Doc      string
-	build    func(TunerOptions) (Tuner, error)
-}
-
-var tuners = map[string]tunerDoc{
-	"rules": {"rule-based", "best-practice rulebook for the target system", func(o TunerOptions) (Tuner, error) {
-		book, err := rulebased.BookFor(o.TargetName)
-		if err != nil {
-			return nil, err
-		}
-		return rulebased.NewTuner(book), nil
-	}},
-	"navigator": {"rule-based", "impact-ranked one-at-a-time navigation (Xu et al.)", func(o TunerOptions) (Tuner, error) {
-		return rulebased.NewNavigator(), nil
-	}},
-	"stmm": {"cost modeling", "memory cost-benefit balancing (Storm et al.)", func(o TunerOptions) (Tuner, error) {
-		return costmodel.NewSTMM(), nil
-	}},
-	"starfish": {"cost modeling", "MapReduce what-if model + search (Herodotou & Babu)", func(o TunerOptions) (Tuner, error) {
-		return costmodel.NewStarfish(o.Seed), nil
-	}},
-	"ernest": {"cost modeling", "scale-out NNLS model for Spark (Venkataraman et al.)", func(o TunerOptions) (Tuner, error) {
-		return costmodel.NewErnest(), nil
-	}},
-	"trace-whatif": {"simulation", "trace capture + resource replay (Narayanan et al.)", func(o TunerOptions) (Tuner, error) {
-		return simulation.NewTraceWhatIf(o.Seed), nil
-	}},
-	"addm": {"simulation", "wait-component diagnosis + targeted remedies (Dias et al.)", func(o TunerOptions) (Tuner, error) {
-		return simulation.NewADDM(), nil
-	}},
-	"scaled-proxy": {"simulation", "search a scaled replica, verify at full scale", func(o TunerOptions) (Tuner, error) {
-		if o.Proxy == nil {
-			return nil, fmt.Errorf("repro: scaled-proxy requires TunerOptions.Proxy")
-		}
-		return simulation.NewScaledProxy(o.Proxy, o.Seed), nil
-	}},
-	"random": {"experiment-driven", "uniform random search baseline", func(o TunerOptions) (Tuner, error) {
-		return &experiment.Random{Seed: o.Seed}, nil
-	}},
-	"grid": {"experiment-driven", "factorial grid over the top-impact knobs", func(o TunerOptions) (Tuner, error) {
-		return &experiment.Grid{TopK: 3}, nil
-	}},
-	"rrs": {"experiment-driven", "recursive random search (Ye & Kalyanaraman)", func(o TunerOptions) (Tuner, error) {
-		return &experiment.RRS{Seed: o.Seed}, nil
-	}},
-	"sard": {"experiment-driven", "Plackett–Burman screening + focused search (Debnath et al.)", func(o TunerOptions) (Tuner, error) {
-		return experiment.NewSARD(o.Seed), nil
-	}},
-	"adaptive-sampling": {"experiment-driven", "explore/exploit experiment planning (Babu et al.)", func(o TunerOptions) (Tuner, error) {
-		return experiment.NewAdaptiveSampling(o.Seed), nil
-	}},
-	"ituned": {"experiment-driven", "LHS + Gaussian process + EI (Duan et al.)", func(o TunerOptions) (Tuner, error) {
-		return experiment.NewITuned(o.Seed), nil
-	}},
-	"ottertune": {"machine learning", "metric pruning + Lasso + workload mapping + GP (Van Aken et al.)", func(o TunerOptions) (Tuner, error) {
-		return ml.NewOtterTune(o.Seed, o.Repo), nil
-	}},
-	"neural": {"machine learning", "MLP surrogate search (Rodd & Kulkarni)", func(o TunerOptions) (Tuner, error) {
-		return ml.NewNeuralTuner(o.Seed), nil
-	}},
-	"colt": {"adaptive", "online cost-vs-gain epoch tuning (Schnaitter et al.)", func(o TunerOptions) (Tuner, error) {
-		return adaptive.NewCOLT(o.Seed), nil
-	}},
-	"partitions": {"adaptive", "dynamic Spark partition control (Gounaris et al.)", func(o TunerOptions) (Tuner, error) {
-		return &adaptive.AdaptiveTuner{Label: "partitions", Controller: adaptive.NewPartitionController()}, nil
-	}},
-	"memory-manager": {"adaptive", "online STMM memory rebalancing", func(o TunerOptions) (Tuner, error) {
-		return &adaptive.AdaptiveTuner{Label: "memory-manager", Controller: adaptive.NewMemoryManager()}, nil
-	}},
-	"recommender": {"adaptive", "repository warm start + online refinement (mrMoulder)", func(o TunerOptions) (Tuner, error) {
-		return adaptive.NewRecommender(o.Seed, o.Repo), nil
-	}},
-}
-
-// Tuners lists available tuner names with their survey category, sorted.
-func Tuners() []string {
-	names := make([]string, 0, len(tuners))
-	for n := range tuners {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// TunerInfo returns the category and one-line description of a tuner.
-func TunerInfo(name string) (category, doc string, ok bool) {
-	d, ok := tuners[name]
-	return d.Category, d.Doc, ok
-}
-
-// NewTuner builds a tuner by name.
-func NewTuner(name string, o TunerOptions) (Tuner, error) {
-	d, ok := tuners[name]
-	if !ok {
-		return nil, fmt.Errorf("repro: unknown tuner %q (have %s)", name, strings.Join(Tuners(), ", "))
-	}
-	return d.build(o)
 }

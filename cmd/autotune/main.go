@@ -5,16 +5,19 @@
 //
 //	autotune -system dbms -workload tpch -tuner ituned -trials 30
 //	autotune -system dbms -workload tpch -tuner ituned -parallel 4
+//	autotune -system dbms -workload tpch -tuner ituned -progress
 //	autotune -list
 //
 // -parallel N evaluates proposed trial batches on N workers; results are
-// identical at any parallelism for a fixed seed.
+// identical at any parallelism for a fixed seed. -progress renders a live
+// trial-count/incumbent line from the session's event stream.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	repro "repro"
@@ -36,6 +39,7 @@ func main() {
 		tenants   = flag.Float64("tenants", 0, "multi-tenant background load (0..0.9)")
 		list      = flag.Bool("list", false, "list systems, workloads and tuners")
 		showCurve = flag.Bool("curve", false, "print the best-so-far tuning curve")
+		progress  = flag.Bool("progress", false, "render a live trial/incumbent line from the event stream")
 	)
 	flag.Parse()
 
@@ -67,7 +71,42 @@ func main() {
 		fatal(err)
 	}
 	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo})
-	res, err := eng.Tune(context.Background(), target, tn, tune.Budget{Trials: *trials})
+	budget := tune.Budget{Trials: *trials}
+	var res *repro.TuningResult
+	if *progress {
+		// The session-handle path: submit, render the live event stream,
+		// then wait. Identical result to the blocking path below.
+		run := eng.Submit(repro.Job{
+			Name: target.Name() + "/" + tn.Name(), Tuner: tn, Target: target,
+			Budget: budget, Parallel: *parallel,
+		})
+		best, simUsed := math.Inf(1), 0.0
+		shown := false
+		line := func(trial int) {
+			if math.IsInf(best, 1) {
+				return // no incumbent yet (its event follows immediately)
+			}
+			fmt.Printf("\rtrial %3d/%d  incumbent %.1fs  (%.1fs simulated)   ",
+				trial, *trials, best, simUsed)
+			shown = true
+		}
+		for ev := range run.Events() {
+			switch ev.Kind {
+			case repro.TrialDone:
+				simUsed = ev.SimTimeUsed
+				line(ev.Trial)
+			case repro.IncumbentImproved:
+				best = ev.Result.Time
+				line(ev.Trial)
+			}
+		}
+		if shown {
+			fmt.Println()
+		}
+		res, err = run.Wait(context.Background())
+	} else {
+		res, err = eng.Tune(context.Background(), target, tn, budget)
+	}
 	if err != nil {
 		fatal(err)
 	}

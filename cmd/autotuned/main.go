@@ -1,0 +1,67 @@
+// Command autotuned is the HTTP tuning daemon: it accepts declarative
+// session specs over JSON, schedules them on a multi-session engine, and
+// streams each session's ordered event stream over server-sent events.
+//
+// Usage:
+//
+//	autotuned -addr :8080 -workers 4
+//
+// Submit, watch, inspect, and stop a session:
+//
+//	curl -X POST localhost:8080/sessions -d '{
+//	  "system": "dbms", "workload": "tpch", "tuner": "ituned",
+//	  "seed": 42, "budget": {"trials": 30}}'
+//	curl -N localhost:8080/sessions/s1/events
+//	curl localhost:8080/sessions/s1
+//	curl -X DELETE localhost:8080/sessions/s1   # stop; on a finished session: remove
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrently running sessions (0 = all cores)")
+		memo    = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
+	)
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: daemon.New(daemon.Options{Workers: *workers, Memo: *memo}).Handler(),
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("autotuned: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotuned:", err)
+	os.Exit(1)
+}

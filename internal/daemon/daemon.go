@@ -1,0 +1,282 @@
+// Package daemon is the HTTP/JSON tuning service: it accepts declarative
+// session specs (repro.Spec), schedules them on a shared multi-session
+// engine, streams each session's ordered event stream over server-sent
+// events, and serves final results. cmd/autotuned is the thin binary
+// around it.
+//
+// Endpoints:
+//
+//	POST   /sessions              submit a Spec, returns {"id": ...}
+//	GET    /sessions              list session summaries
+//	GET    /sessions/{id}         status, incumbent, final result
+//	GET    /sessions/{id}/events  SSE stream, replayed from the first
+//	                              event, closed after session_done
+//	POST   /sessions/{id}/pause   pause at the next trial boundary
+//	POST   /sessions/{id}/resume  resume a paused session
+//	DELETE /sessions/{id}         stop a live session (it fails with a
+//	                              cancellation error); delete a finished
+//	                              one, releasing its event log
+//	GET    /healthz               liveness probe
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/tune"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// Workers bounds concurrently running sessions (default: GOMAXPROCS).
+	Workers int
+	// Memo enables the engine's config-keyed result memo cache.
+	Memo bool
+}
+
+// Server owns the engine and the session table.
+type Server struct {
+	eng *repro.Engine
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string
+	nextID   int
+}
+
+type session struct {
+	ID      string
+	Spec    repro.Spec
+	Run     *repro.Run
+	Created time.Time
+}
+
+// New returns a daemon server scheduling sessions on its own engine.
+func New(o Options) *Server {
+	return &Server{
+		eng:      repro.NewEngine(repro.EngineOptions{Workers: o.Workers, Cache: o.Memo}),
+		sessions: map[string]*session{},
+	}
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /sessions", s.create)
+	mux.HandleFunc("GET /sessions", s.list)
+	mux.HandleFunc("GET /sessions/{id}", s.get)
+	mux.HandleFunc("GET /sessions/{id}/events", s.events)
+	mux.HandleFunc("POST /sessions/{id}/pause", s.pause)
+	mux.HandleFunc("POST /sessions/{id}/resume", s.resume)
+	mux.HandleFunc("DELETE /sessions/{id}", s.stop)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) lookup(r *http.Request) (*session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("no session %q", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) create(w http.ResponseWriter, r *http.Request) {
+	var spec repro.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	// The session outlives the HTTP request by design; its lifetime is
+	// managed through DELETE, not the request context.
+	run, err := repro.StartOn(context.Background(), s.eng, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	sess := &session{
+		ID:      fmt.Sprintf("s%d", s.nextID),
+		Spec:    spec,
+		Run:     run,
+		Created: time.Now(),
+	}
+	s.sessions[sess.ID] = sess
+	s.order = append(s.order, sess.ID)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"id":     sess.ID,
+		"name":   spec.Name(),
+		"state":  string(run.State()),
+		"url":    "/sessions/" + sess.ID,
+		"events": "/sessions/" + sess.ID + "/events",
+	})
+}
+
+// status is the wire form of one session's current state.
+type status struct {
+	ID         string              `json:"id"`
+	Name       string              `json:"name"`
+	Spec       repro.Spec          `json:"spec"`
+	State      repro.RunState      `json:"state"`
+	Created    time.Time           `json:"created"`
+	TrialsDone int                 `json:"trials_done"`
+	Incumbent  *incumbent          `json:"incumbent,omitempty"`
+	Result     *repro.TuningResult `json:"result,omitempty"`
+	Error      string              `json:"error,omitempty"`
+}
+
+type incumbent struct {
+	Trial  int               `json:"trial"`
+	Config map[string]string `json:"config"`
+	Result tune.Result       `json:"result"`
+}
+
+func (sess *session) status() status {
+	st := status{
+		ID:      sess.ID,
+		Name:    sess.Spec.Name(),
+		Spec:    sess.Spec,
+		State:   sess.Run.State(),
+		Created: sess.Created,
+	}
+	trials, inc, ok := sess.Run.Progress()
+	st.TrialsDone = trials
+	if ok {
+		st.Incumbent = &incumbent{Trial: inc.Trial, Config: inc.Config.Map(), Result: inc.Result}
+	}
+	if st.State == repro.RunDone || st.State == repro.RunFailed {
+		res, err := sess.Run.Result()
+		st.Result = res
+		if err != nil {
+			st.Error = err.Error()
+		}
+	}
+	return st
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	out := make([]status, len(sessions))
+	for i, sess := range sessions {
+		out[i] = sess.status()
+		out[i].Result = nil // summaries stay small; fetch /sessions/{id} for the result
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.status())
+}
+
+// events streams the session's ordered event log as server-sent events:
+// the full history replays first, then live events follow until
+// session_done closes the stream. Reconnecting replays identically.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for ev := range sess.Run.EventsContext(r.Context()) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+		fl.Flush()
+	}
+}
+
+func (s *Server) pause(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sess.Run.Pause()
+	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": string(sess.Run.State())})
+}
+
+func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	sess.Run.Resume()
+	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": string(sess.Run.State())})
+}
+
+// stop handles DELETE. On a live session it cancels the run but keeps the
+// record so clients can observe the outcome; on a finished session it
+// removes the record (and its event log) from the table — the release
+// valve that keeps a long-lived daemon's memory bounded.
+func (s *Server) stop(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.lookup(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	state := sess.Run.State()
+	if state == repro.RunDone || state == repro.RunFailed {
+		s.mu.Lock()
+		delete(s.sessions, sess.ID)
+		for i, id := range s.order {
+			if id == sess.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": "removed"})
+		return
+	}
+	sess.Run.Stop()
+	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": string(sess.Run.State())})
+}

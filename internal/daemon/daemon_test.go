@@ -1,0 +1,345 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec string) (id string, code int, body map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body = map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	id, _ = body["id"].(string)
+	return id, resp.StatusCode, body
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	Name string
+	Data []byte
+}
+
+// readSSE parses an SSE stream until it closes.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("events content type = %q", got)
+	}
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.Name != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDaemonEndToEnd is the curl-able acceptance flow: POST a JSON spec,
+// stream SSE events until session_done, then GET the final result.
+func TestDaemonEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, body := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "ituned",
+		"seed": 42, "budget": {"trials": 8}, "parallel": 2,
+		"target": {"scale_gb": 2}}`)
+	if code != http.StatusCreated || id == "" {
+		t.Fatalf("POST /sessions = %d, %v", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	var trialsDone int
+	for _, ev := range events {
+		if ev.Name == "trial_done" {
+			trialsDone++
+		}
+	}
+	if trialsDone != 8 {
+		t.Errorf("streamed %d trial_done events, want 8", trialsDone)
+	}
+	last := events[len(events)-1]
+	if last.Name != "session_done" {
+		t.Fatalf("stream ended with %q, want session_done", last.Name)
+	}
+	if !bytes.Contains(last.Data, []byte(`"final"`)) {
+		t.Errorf("session_done carries no final result: %s", last.Data)
+	}
+
+	// Reconnecting replays the identical stream.
+	resp2, err := http.Get(ts.URL + "/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp2)
+	if len(replay) != len(events) {
+		t.Fatalf("replay has %d events, live had %d", len(replay), len(events))
+	}
+	for i := range events {
+		if !bytes.Equal(events[i].Data, replay[i].Data) {
+			t.Fatalf("replayed event %d differs", i)
+		}
+	}
+
+	// The final status carries the result.
+	sresp, err := http.Get(ts.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st struct {
+		State      string          `json:"state"`
+		TrialsDone int             `json:"trials_done"`
+		Result     json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.TrialsDone != 8 || len(st.Result) == 0 {
+		t.Errorf("status = %+v", st)
+	}
+	if !bytes.Contains(st.Result, []byte(`"best"`)) {
+		t.Errorf("result has no best config: %s", st.Result)
+	}
+
+	// The session list includes the session.
+	lresp, err := http.Get(ts.URL + "/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Sessions []struct {
+			ID string `json:"id"`
+		} `json:"sessions"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) != 1 || listing.Sessions[0].ID != id {
+		t.Errorf("listing = %+v", listing)
+	}
+}
+
+// TestDaemonRejectsBadSpecs: malformed JSON, unknown fields, and invalid
+// names all get descriptive 400s.
+func TestDaemonRejectsBadSpecs(t *testing.T) {
+	ts := newTestServer(t)
+	for _, spec := range []string{
+		`{not json`,
+		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "bogus_field": 1}`,
+		`{"system": "nosuch", "workload": "x", "tuner": "ituned", "budget": {"trials": 1}}`,
+		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "target": {"tenant_load": 2}}`,
+	} {
+		_, code, body := postSpec(t, ts, spec)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", spec, code)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("POST %s: no error message in %v", spec, body)
+		}
+	}
+}
+
+// TestDaemonUnknownSession: every per-session route 404s for missing ids.
+func TestDaemonUnknownSession(t *testing.T) {
+	ts := newTestServer(t)
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/sessions/s99"},
+		{http.MethodGet, "/sessions/s99/events"},
+		{http.MethodPost, "/sessions/s99/pause"},
+		{http.MethodPost, "/sessions/s99/resume"},
+		{http.MethodDelete, "/sessions/s99"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDaemonStop: DELETE cancels a running session, which then reports
+// state failed with a cancellation error.
+func TestDaemonStop(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, _ := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "random",
+		"seed": 1, "budget": {"trials": 100000}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	// The session settles into failed with a context cancellation error.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sresp, err := http.Get(ts.URL + "/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(sresp.Body).Decode(&st)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "failed" {
+			if !strings.Contains(st.Error, "canceled") {
+				t.Errorf("error = %q, want a cancellation", st.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never failed; state %q", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonDeleteFinishedSessionRemovesIt: DELETE on a finished session
+// releases its record and event log; subsequent GETs 404.
+func TestDaemonDeleteFinishedSessionRemovesIt(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, _ := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "random",
+		"seed": 4, "budget": {"trials": 3}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST = %d", code)
+	}
+	// Drain the stream so the session is done.
+	eresp, err := http.Get(ts.URL + "/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readSSE(t, eresp)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || body["state"] != "removed" {
+		t.Fatalf("DELETE finished = %d %v, want 200 removed", resp.StatusCode, body)
+	}
+	gresp, err := http.Get(ts.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after removal = %d, want 404", gresp.StatusCode)
+	}
+}
+
+// TestDaemonPauseResume: pause flips the reported state and resume lets
+// the session finish with all trials.
+func TestDaemonPauseResume(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, _ := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "random",
+		"seed": 2, "budget": {"trials": 30}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("POST = %d", code)
+	}
+	presp, err := http.Post(ts.URL+"/sessions/"+id+"/pause", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	rresp, err := http.Post(ts.URL+"/sessions/"+id+"/resume", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	eresp, err := http.Get(ts.URL + "/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, eresp)
+	if last := events[len(events)-1]; last.Name != "session_done" {
+		t.Fatalf("stream ended with %q", last.Name)
+	}
+	var trials int
+	for _, ev := range events {
+		if ev.Name == "trial_done" {
+			trials++
+		}
+	}
+	if trials != 30 {
+		t.Errorf("ran %d trials, want 30", trials)
+	}
+}
+
+// TestDaemonHealthz: liveness probe answers.
+func TestDaemonHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}

@@ -50,6 +50,7 @@ type Options struct {
 type Engine struct {
 	workers int
 	cache   bool
+	sem     chan struct{} // scheduler slots for Submit/RunJobs
 }
 
 // New returns an engine with the given options.
@@ -58,7 +59,7 @@ func New(o Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, cache: o.Cache}
+	return &Engine{workers: w, cache: o.Cache, sem: make(chan struct{}, w)}
 }
 
 // Workers returns the configured parallelism.
@@ -90,6 +91,12 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 	}
 	s := tune.NewSession(ctx, target, b)
 	ev := e.newEvaluator(target)
+	// When a run-handle monitor rides on the context, honor its pause gate
+	// between batches (the session honors it for sequential tuners).
+	gate := func() {}
+	if m := tune.MonitorFrom(ctx); m != nil && m.Gate != nil {
+		gate = m.Gate
+	}
 	// Under a sim-time budget the exhaustion point is unknowable before
 	// running, so evaluate in worker-sized chunks and re-check between
 	// them: waste past the cut is bounded by one chunk instead of one
@@ -104,6 +111,10 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 		chunk = e.workers
 	}
 	for !s.Exhausted() {
+		gate()
+		if s.Exhausted() {
+			break // the gate may have unblocked on cancellation
+		}
 		remaining := s.Remaining()
 		cfgs := p.Propose(remaining)
 		if len(cfgs) == 0 {

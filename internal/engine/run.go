@@ -1,0 +1,334 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// RunState describes where a submitted run is in its lifecycle.
+type RunState string
+
+const (
+	// RunPending: submitted, waiting for a scheduler slot.
+	RunPending RunState = "pending"
+	// RunRunning: holding a slot and evaluating trials.
+	RunRunning RunState = "running"
+	// RunPaused: paused between trials (its scheduler slot released).
+	RunPaused RunState = "paused"
+	// RunDone: finished with a result.
+	RunDone RunState = "done"
+	// RunFailed: finished with an error (including Stop/cancellation).
+	RunFailed RunState = "failed"
+)
+
+// Run is the handle to one submitted tuning session. It exposes the
+// session's ordered event stream, pause/resume/stop control, and the final
+// result. Handles are safe for concurrent use.
+type Run struct {
+	job    Job
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	sem    chan struct{} // the owning engine's scheduler slots
+
+	mu         sync.Mutex
+	log        []tune.Event
+	notify     chan struct{} // closed and replaced on every append
+	running    bool
+	finished   bool
+	holdsSlot  bool
+	pauseCh    chan struct{} // non-nil while paused; closed on resume
+	trialsDone int
+	incumbent  tune.Event // last IncumbentImproved (zero until one arrives)
+	result     *tune.TuningResult
+	err        error
+}
+
+// Submit schedules job on the engine and returns its handle immediately.
+// The run starts once a scheduler slot (one of Workers) frees up; trials
+// inside the run are evaluated on job.Parallel workers (default 1), so
+// total concurrency across an engine's submitted runs is Workers unless a
+// job opts into inner parallelism. Use Stop or SubmitContext to cancel.
+func (e *Engine) Submit(job Job) *Run {
+	return e.SubmitContext(context.Background(), job)
+}
+
+// SubmitContext is Submit with a parent context: cancelling ctx stops the
+// run as Stop would, and the run's session sees ctx's error.
+func (e *Engine) SubmitContext(ctx context.Context, job Job) *Run {
+	return e.submit(ctx, job, true)
+}
+
+// submit starts the run goroutine. record controls whether trial events
+// are collected: RunJobs turns it off because it never hands out the
+// handle, so an event log would be pure memory overhead.
+func (e *Engine) submit(ctx context.Context, job Job, record bool) *Run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	r := &Run{
+		job:    job,
+		ctx:    rctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		sem:    e.sem,
+		notify: make(chan struct{}),
+	}
+	go r.run(e, record)
+	return r
+}
+
+func (r *Run) run(e *Engine, record bool) {
+	// A run stopped while still queued must not wait for a slot: without
+	// the ctx arm in acquireSlot, Stop on a pending run (or a daemon
+	// DELETE on a queued session) would only take effect once earlier
+	// sessions finished.
+	if !r.acquireSlot() {
+		r.finish(nil, r.ctx.Err())
+		return
+	}
+	defer r.releaseSlot()
+	r.mu.Lock()
+	r.running = true
+	r.mu.Unlock()
+
+	workers := r.job.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sub := &Engine{workers: workers, cache: e.cache || r.job.Memo, sem: make(chan struct{}, workers)}
+	ctx := r.ctx
+	if record {
+		ctx = tune.WithMonitor(ctx, &tune.Monitor{OnEvent: r.observe, Gate: r.gate})
+	}
+	res, err := sub.Tune(ctx, r.job.Target, r.job.Tuner, r.job.Budget)
+	r.finish(res, err)
+}
+
+// acquireSlot claims one of the engine's scheduler slots, giving up if
+// the run is cancelled first. It reports whether the slot is held.
+func (r *Run) acquireSlot() bool {
+	select {
+	case r.sem <- struct{}{}:
+		r.mu.Lock()
+		r.holdsSlot = true
+		r.mu.Unlock()
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// releaseSlot returns the scheduler slot if held; safe to call twice
+// (the gate releases during a pause, the run's defer releases at exit).
+func (r *Run) releaseSlot() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.holdsSlot {
+		r.holdsSlot = false
+		<-r.sem
+	}
+}
+
+// finish records the outcome, emits SessionDone, and releases waiters.
+func (r *Run) finish(res *tune.TuningResult, err error) {
+	r.mu.Lock()
+	r.result, r.err = res, err
+	r.finished = true
+	r.appendLocked(tune.Event{Kind: tune.SessionDone, Final: res, Err: err})
+	r.mu.Unlock()
+	r.cancel()
+	close(r.done)
+}
+
+// observe is the monitor sink: it appends a session event to the log and
+// wakes subscribers. Called with the session lock held, so it must not
+// block — appending under the run lock is all it does.
+func (r *Run) observe(ev tune.Event) {
+	r.mu.Lock()
+	r.appendLocked(ev)
+	r.mu.Unlock()
+}
+
+func (r *Run) appendLocked(ev tune.Event) {
+	ev.Seq = len(r.log) + 1
+	r.log = append(r.log, ev)
+	switch ev.Kind {
+	case tune.TrialDone:
+		r.trialsDone++
+	case tune.IncumbentImproved:
+		r.incumbent = ev
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// Progress reports how many trials have completed and the last
+// incumbent-improvement event (ok is false until the first improvement).
+// O(1), tracked as events are appended — status endpoints poll this
+// instead of rescanning History.
+func (r *Run) Progress() (trialsDone int, incumbent tune.Event, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trialsDone, r.incumbent, r.incumbent.Kind == tune.IncumbentImproved
+}
+
+// gate blocks while the run is paused, returning when resumed or when the
+// run's context is cancelled. The session consults it before each trial.
+// While paused the run gives its scheduler slot back — paused sessions
+// must not starve queued ones — and re-acquires one on resume.
+func (r *Run) gate() {
+	for {
+		r.mu.Lock()
+		ch := r.pauseCh
+		r.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		r.releaseSlot()
+		select {
+		case <-ch:
+		case <-r.ctx.Done():
+		}
+		if !r.acquireSlot() {
+			return // cancelled; the session will observe ctx and stop
+		}
+	}
+}
+
+// Pause suspends the run at its next trial boundary: evaluations already
+// in flight finish and their trials are recorded (a Stop issued during
+// the pause can therefore still be preceded by those final records), but
+// no further trials start until Resume. A paused run releases its
+// scheduler slot (re-acquiring one on Resume), so pausing never starves
+// queued sessions. Pausing a finished run has no effect.
+func (r *Run) Pause() {
+	r.mu.Lock()
+	if r.pauseCh == nil && !r.finished {
+		r.pauseCh = make(chan struct{})
+	}
+	r.mu.Unlock()
+}
+
+// Resume lifts a Pause.
+func (r *Run) Resume() {
+	r.mu.Lock()
+	if r.pauseCh != nil {
+		close(r.pauseCh)
+		r.pauseCh = nil
+	}
+	r.mu.Unlock()
+}
+
+// Stop cancels the run. The session finishes with a cancellation error —
+// matching the blocking facade, a stopped session is an error, not a short
+// success — delivered through Wait and the SessionDone event.
+func (r *Run) Stop() { r.cancel() }
+
+// Done is closed when the run has finished and its result is available.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the run finishes (or ctx, which may be nil, is
+// cancelled — cancelling the wait does not stop the run) and returns the
+// final result.
+func (r *Run) Wait(ctx context.Context) (*tune.TuningResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-r.done:
+		return r.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the final result and error. Valid once Done is closed;
+// before that both are nil.
+func (r *Run) Result() (*tune.TuningResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result, r.err
+}
+
+// Name returns the submitted job's name.
+func (r *Run) Name() string { return r.job.Name }
+
+// State reports the run's current lifecycle state. A pause requested on a
+// still-queued run reports pending until the run starts and reaches its
+// first trial boundary.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.finished && r.err != nil:
+		return RunFailed
+	case r.finished:
+		return RunDone
+	case r.running && r.pauseCh != nil:
+		return RunPaused
+	case r.running:
+		return RunRunning
+	}
+	return RunPending
+}
+
+// History returns a snapshot of all events emitted so far, in order.
+func (r *Run) History() []tune.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]tune.Event, len(r.log))
+	copy(out, r.log)
+	return out
+}
+
+// Events returns an ordered event stream for the run. Every call starts a
+// fresh subscription that replays the run's history from the first event
+// and then follows live until SessionDone, after which the channel closes;
+// late and repeated subscribers see the identical sequence. The caller
+// must drain the channel (or use EventsContext to abandon it early).
+func (r *Run) Events() <-chan tune.Event {
+	return r.EventsContext(context.Background())
+}
+
+// EventsContext is Events with a subscription lifetime: the stream closes
+// early when ctx is cancelled, releasing the subscription's goroutine.
+func (r *Run) EventsContext(ctx context.Context) <-chan tune.Event {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan tune.Event)
+	go func() {
+		defer close(out)
+		sent := 0
+		for {
+			r.mu.Lock()
+			batch := r.log[sent:len(r.log):len(r.log)]
+			notify := r.notify
+			finished := r.finished
+			r.mu.Unlock()
+			for _, ev := range batch {
+				select {
+				case out <- ev:
+					sent++
+				case <-ctx.Done():
+					return
+				}
+			}
+			if len(batch) == 0 {
+				if finished {
+					return
+				}
+				select {
+				case <-notify:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/tune"
 )
@@ -16,6 +15,13 @@ type Job struct {
 	Tuner  tune.Tuner
 	Target tune.Target
 	Budget tune.Budget
+	// Parallel is the worker count for batch trial evaluation inside this
+	// job (≤1 or 0 means sequential). Results are identical at any value
+	// for a fixed seed; only wall-clock changes.
+	Parallel int
+	// Memo opts this job into the config-keyed result memo cache even
+	// when the engine's cache is off.
+	Memo bool
 }
 
 // JobResult pairs a job with its outcome.
@@ -25,30 +31,23 @@ type JobResult struct {
 	Err    error
 }
 
-// RunJobs executes the jobs concurrently — the multi-session scheduler. At
-// most Workers jobs are in flight at once, and each job evaluates its own
-// trials sequentially (a sub-engine with one worker), so total concurrency
-// is exactly Workers rather than Workers². Cross-session parallelism is
+// RunJobs executes the jobs concurrently — the multi-session scheduler,
+// built on Submit. At most Workers jobs hold a slot at once, and each job
+// evaluates its own trials sequentially unless it sets Parallel, so total
+// concurrency is exactly Workers by default. Cross-session parallelism is
 // the scheduler's lever; per-batch fan-out belongs to single-session
-// Tune/Drive. Results are returned in job order and each job is
-// deterministic in its own seed, so the output is identical to running
-// the jobs sequentially.
+// Tune/Drive (or per-job Parallel). Results are returned in job order and
+// each job is deterministic in its own seed, so the output is identical to
+// running the jobs sequentially.
 func (e *Engine) RunJobs(ctx context.Context, jobs []Job) []JobResult {
-	out := make([]JobResult, len(jobs))
-	sem := make(chan struct{}, e.workers)
-	sub := &Engine{workers: 1, cache: e.cache}
-	var wg sync.WaitGroup
+	runs := make([]*Run, len(jobs))
 	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			j := jobs[i]
-			r, err := sub.Tune(ctx, j.Target, j.Tuner, j.Budget)
-			out[i] = JobResult{Name: j.Name, Result: r, Err: err}
-		}(i)
+		runs[i] = e.submit(ctx, jobs[i], false)
 	}
-	wg.Wait()
+	out := make([]JobResult, len(jobs))
+	for i, r := range runs {
+		res, err := r.Wait(nil)
+		out[i] = JobResult{Name: jobs[i].Name, Result: res, Err: err}
+	}
 	return out
 }

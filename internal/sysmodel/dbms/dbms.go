@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"repro/internal/sysmodel/cluster"
@@ -574,11 +575,19 @@ func (d *DBMS) simulate(cfg tune.Config, rng *rand.Rand, opsFraction float64) tu
 	}
 
 	// --- metrics ------------------------------------------------------------------
+	// Sum in sorted-name order: float addition is not associative, and map
+	// iteration order would otherwise leak into the metric's last ulp,
+	// breaking byte-identical event streams across runs.
+	names := make([]string, 0, len(hit))
+	for name := range hit {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var hitAvg float64
 	var nw float64
-	for name, h := range hit {
+	for _, name := range names {
 		w := accessW[name]
-		hitAvg += h * w
+		hitAvg += hit[name] * w
 		nw += w
 	}
 	if nw > 0 {

@@ -1,6 +1,7 @@
 package tune
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -106,6 +107,17 @@ func (c Config) Map() map[string]string {
 		m[p.Name] = p.FormatValue(p.decode(c.x[i]))
 	}
 	return m
+}
+
+// MarshalJSON renders the configuration as a name→formatted-value object
+// (keys sorted by encoding/json), or null for the invalid zero Config.
+// Deserializing requires the space, so there is deliberately no
+// UnmarshalJSON; configurations flow out of the API, not in.
+func (c Config) MarshalJSON() ([]byte, error) {
+	if !c.Valid() {
+		return []byte("null"), nil
+	}
+	return json.Marshal(c.Map())
 }
 
 // String renders the configuration as a deterministic, sorted key=value list.

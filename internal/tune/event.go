@@ -1,0 +1,111 @@
+package tune
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// EventKind names one kind of session event.
+type EventKind string
+
+// The ordered event vocabulary of a tuning session. Events are emitted in
+// trial order regardless of how much parallelism evaluated the trials, so
+// for a fixed spec and seed the event sequence is byte-identical at any
+// worker count.
+const (
+	// TrialStarted announces trial N and the configuration it evaluates.
+	TrialStarted EventKind = "trial_started"
+	// TrialDone reports trial N's result and the cumulative simulated time.
+	TrialDone EventKind = "trial_done"
+	// IncumbentImproved follows a TrialDone whose result beat the incumbent.
+	IncumbentImproved EventKind = "incumbent_improved"
+	// SessionDone closes the stream with the final result or the error.
+	SessionDone EventKind = "session_done"
+)
+
+// Event is one entry in a session's ordered event stream. Which fields are
+// populated depends on Kind: trial events carry Trial/Config (and, once
+// evaluated, Result and the cumulative SimTimeUsed); SessionDone carries
+// Final or Err. Seq numbers the stream from 1 and is assigned by the
+// collector (the engine's run handle), not the session.
+type Event struct {
+	Kind EventKind
+	Seq  int
+	// Trial is the 1-based trial number (zero for SessionDone).
+	Trial  int
+	Config Config
+	Result Result
+	// SimTimeUsed is the session's cumulative simulated seconds after this
+	// trial (TrialDone only).
+	SimTimeUsed float64
+	// Final is the session outcome (SessionDone on success).
+	Final *TuningResult
+	// Err is the session failure (SessionDone on error).
+	Err error
+}
+
+// eventJSON is the wire form of an Event.
+type eventJSON struct {
+	Kind        EventKind         `json:"kind"`
+	Seq         int               `json:"seq"`
+	Trial       int               `json:"trial,omitempty"`
+	Config      map[string]string `json:"config,omitempty"`
+	Result      *Result           `json:"result,omitempty"`
+	SimTimeUsed float64           `json:"sim_time_used,omitempty"`
+	Final       *TuningResult     `json:"final,omitempty"`
+	Err         string            `json:"error,omitempty"`
+}
+
+// MarshalJSON renders the event with only the fields its kind populates;
+// configurations marshal as name→value maps.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{Kind: e.Kind, Seq: e.Seq, Trial: e.Trial}
+	if e.Config.Valid() {
+		j.Config = e.Config.Map()
+	}
+	switch e.Kind {
+	case TrialDone, IncumbentImproved:
+		r := e.Result
+		j.Result = &r
+		j.SimTimeUsed = e.SimTimeUsed
+	case SessionDone:
+		j.Final = e.Final
+		if e.Err != nil {
+			j.Err = e.Err.Error()
+		}
+	}
+	return json.Marshal(j)
+}
+
+// Monitor observes and controls one tuning session. A monitor reaches the
+// session through the context given to NewSession (see WithMonitor), which
+// is how the engine's run handles receive events from tuners that build
+// their sessions internally.
+type Monitor struct {
+	// OnEvent receives the session's events in trial order. It is called
+	// synchronously with the session lock held, so it must be fast, must
+	// not block, and must not call back into the session.
+	OnEvent func(Event)
+	// Gate, when non-nil, is consulted before a new trial starts (and
+	// before an externally evaluated trial is recorded). It blocks while
+	// the run is paused and must return promptly once resumed or once the
+	// session's context is cancelled.
+	Gate func()
+}
+
+type monitorKey struct{}
+
+// WithMonitor returns a context carrying m; NewSession attaches the
+// carried monitor to the session it creates.
+func WithMonitor(ctx context.Context, m *Monitor) context.Context {
+	return context.WithValue(ctx, monitorKey{}, m)
+}
+
+// MonitorFrom returns the monitor carried by ctx, or nil.
+func MonitorFrom(ctx context.Context) *Monitor {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(monitorKey{}).(*Monitor)
+	return m
+}

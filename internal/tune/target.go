@@ -7,18 +7,18 @@ package tune
 // learning tuners in the style of OtterTune consume these.
 type Result struct {
 	// Time is the end-to-end simulated execution time in seconds.
-	Time float64
+	Time float64 `json:"time"`
 	// Cost is the monetary cost of the run in arbitrary dollars
 	// (cluster-seconds priced by node class); zero when not modeled.
-	Cost float64
+	Cost float64 `json:"cost,omitempty"`
 	// Failed reports that the configuration crashed or timed out the run
 	// (out of memory, task OOM, deadlock storm). Time then holds the
 	// penalized effective time observed before failure.
-	Failed bool
+	Failed bool `json:"failed,omitempty"`
 	// FailReason explains a failure for humans.
-	FailReason string
+	FailReason string `json:"fail_reason,omitempty"`
 	// Metrics are internal runtime counters keyed by metric name.
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Objective returns the value tuners minimize: the runtime, heavily

@@ -13,25 +13,25 @@ import (
 // driven tuners are expensive precisely because each trial is a real run;
 // the budget makes that cost explicit and comparable across categories).
 type Budget struct {
-	Trials  int
-	SimTime float64
+	Trials  int     `json:"trials"`
+	SimTime float64 `json:"sim_time,omitempty"`
 }
 
 // Trial records one configuration evaluation.
 type Trial struct {
-	N      int // 1-based trial number
-	Config Config
-	Result Result
+	N      int    `json:"n"` // 1-based trial number
+	Config Config `json:"config"`
+	Result Result `json:"result"`
 }
 
 // TuningResult is the outcome of a tuning session.
 type TuningResult struct {
-	Tuner       string
-	Target      string
-	Best        Config
-	BestResult  Result
-	Trials      []Trial
-	SimTimeUsed float64
+	Tuner       string  `json:"tuner"`
+	Target      string  `json:"target"`
+	Best        Config  `json:"best"`
+	BestResult  Result  `json:"best_result"`
+	Trials      []Trial `json:"trials,omitempty"`
+	SimTimeUsed float64 `json:"sim_time_used,omitempty"`
 }
 
 // Curve returns the best objective seen after each trial — the "tuning
@@ -85,6 +85,7 @@ type Session struct {
 	target Target
 	budget Budget
 	ctx    context.Context
+	mon    *Monitor
 
 	mu      sync.Mutex
 	trials  []Trial
@@ -94,12 +95,14 @@ type Session struct {
 	hasBest bool
 }
 
-// NewSession starts a session for target under budget. ctx may be nil.
+// NewSession starts a session for target under budget. ctx may be nil. When
+// ctx carries a Monitor (see WithMonitor) the session emits the ordered
+// event stream — TrialStarted/TrialDone/IncumbentImproved — through it.
 func NewSession(ctx context.Context, target Target, budget Budget) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{target: target, budget: budget, ctx: ctx}
+	return &Session{target: target, budget: budget, ctx: ctx, mon: MonitorFrom(ctx)}
 }
 
 // Remaining returns how many trials the budget still admits.
@@ -132,6 +135,7 @@ func (s *Session) exhaustedLocked() bool {
 // concurrent Run calls serialize; parallel evaluation belongs to the engine,
 // which runs trials outside the session and merges them via RecordExternal.
 func (s *Session) Run(cfg Config) (Result, error) {
+	s.gate()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.ctx.Err(); err != nil {
@@ -140,6 +144,7 @@ func (s *Session) Run(cfg Config) (Result, error) {
 	if s.exhaustedLocked() {
 		return Result{}, ErrBudgetExhausted
 	}
+	s.emitLocked(Event{Kind: TrialStarted, Trial: len(s.trials) + 1, Config: cfg})
 	res := s.target.Run(cfg)
 	s.recordLocked(cfg, res)
 	return res, nil
@@ -151,8 +156,10 @@ func (s *Session) Run(cfg Config) (Result, error) {
 // run to the session so cost accounting stays uniform across categories.
 // It returns the recorded trial.
 func (s *Session) RecordExternal(cfg Config, res Result) Trial {
+	s.gate()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.emitLocked(Event{Kind: TrialStarted, Trial: len(s.trials) + 1, Config: cfg})
 	return s.recordLocked(cfg, res)
 }
 
@@ -160,10 +167,28 @@ func (s *Session) recordLocked(cfg Config, res Result) Trial {
 	s.simUsed += res.Time
 	t := Trial{N: len(s.trials) + 1, Config: cfg, Result: res}
 	s.trials = append(s.trials, t)
+	s.emitLocked(Event{Kind: TrialDone, Trial: t.N, Config: cfg, Result: res, SimTimeUsed: s.simUsed})
 	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
 		s.best, s.bestRes, s.hasBest = cfg, res, true
+		s.emitLocked(Event{Kind: IncumbentImproved, Trial: t.N, Config: cfg, Result: res})
 	}
 	return t
+}
+
+// emitLocked forwards an event to the attached monitor, if any. The session
+// lock is held, which is what serializes the stream into trial order.
+func (s *Session) emitLocked(ev Event) {
+	if s.mon != nil && s.mon.OnEvent != nil {
+		s.mon.OnEvent(ev)
+	}
+}
+
+// gate blocks while the attached monitor holds the session paused. Called
+// before starting (or recording) a trial, outside the session lock.
+func (s *Session) gate() {
+	if s.mon != nil && s.mon.Gate != nil {
+		s.mon.Gate()
+	}
 }
 
 // Best returns the incumbent configuration and result. If no trial was run

@@ -1,0 +1,173 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Spec declaratively describes one tuning session: which system/workload
+// to tune, with which algorithm, under what budget and seed. Specs are
+// plain JSON-serializable data — they round-trip through encoding/json —
+// which is what lets remote clients submit sessions to the HTTP daemon
+// and lets runs be reproduced exactly from their recorded spec. Any names
+// added through RegisterTarget/RegisterTuner are accepted.
+type Spec struct {
+	// System and Workload name the target (see Systems and Workloads).
+	System   string `json:"system"`
+	Workload string `json:"workload"`
+	// Tuner names the tuning approach (see Tuners).
+	Tuner string `json:"tuner"`
+	// Seed drives both the target's noise stream and the tuner's
+	// randomness. A spec with the same seed always produces the same
+	// trials, result, and event sequence, at any parallelism.
+	Seed int64 `json:"seed"`
+	// Budget caps the session's real runs and simulated time.
+	Budget Budget `json:"budget"`
+	// Target tweaks target construction (scale, fleet, tenancy).
+	Target TargetOptions `json:"target,omitzero"`
+	// Proxy configures the scaled replica for the "scaled-proxy" tuner:
+	// the same system and workload rebuilt at the given scale.
+	Proxy *ProxySpec `json:"proxy,omitempty"`
+	// Parallel is the worker count for batch trial evaluation within the
+	// session (0/1 = sequential; results identical at any value).
+	Parallel int `json:"parallel,omitempty"`
+	// Memo enables the config-keyed result memo cache for this session.
+	Memo bool `json:"memo,omitempty"`
+}
+
+// ProxySpec describes the scaled-down replica used by the scaled-proxy
+// tuner: the spec's system and workload rebuilt at ScaleGB (and optionally
+// Nodes), seeded independently of the full-scale target.
+type ProxySpec struct {
+	ScaleGB float64 `json:"scale_gb"`
+	Nodes   int     `json:"nodes,omitempty"`
+}
+
+// Name returns the session's display name, "system/workload/tuner".
+func (s Spec) Name() string {
+	return s.System + "/" + s.Workload + "/" + s.Tuner
+}
+
+// Validate checks the spec against the registries and option ranges,
+// returning a descriptive error for the first problem found.
+func (s Spec) Validate() error {
+	if s.System == "" || s.Workload == "" || s.Tuner == "" {
+		return fmt.Errorf("repro: spec requires system, workload, and tuner (got %q, %q, %q)", s.System, s.Workload, s.Tuner)
+	}
+	wls := Workloads(s.System)
+	if wls == nil {
+		return fmt.Errorf("repro: unknown system %q (have %s)", s.System, strings.Join(Systems(), ", "))
+	}
+	// An empty declared list means the factory accepts open-ended workload
+	// names; membership is then the factory's call at build time.
+	if len(wls) > 0 {
+		known := false
+		for _, wl := range wls {
+			if wl == s.Workload {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("repro: unknown %s workload %q (have %s)", s.System, s.Workload, strings.Join(wls, ", "))
+		}
+	}
+	if _, _, ok := TunerInfo(s.Tuner); !ok {
+		return fmt.Errorf("repro: unknown tuner %q (have %s)", s.Tuner, strings.Join(Tuners(), ", "))
+	}
+	// A session without a positive trial cap would complete instantly
+	// with zero trials and the default config — a silent no-op a remote
+	// client would mistake for success. Trials caps the run count even
+	// under a sim-time budget (sim_time only tightens it).
+	if s.Budget.Trials <= 0 {
+		return fmt.Errorf("repro: spec requires budget.trials > 0, got %d", s.Budget.Trials)
+	}
+	if !(s.Budget.SimTime >= 0) {
+		return fmt.Errorf("repro: budget sim_time must be ≥ 0, got %v", s.Budget.SimTime)
+	}
+	if s.Parallel < 0 {
+		return fmt.Errorf("repro: parallel must be ≥ 0, got %d", s.Parallel)
+	}
+	if err := s.Target.validate(); err != nil {
+		return err
+	}
+	if s.Proxy != nil {
+		if !(s.Proxy.ScaleGB > 0) {
+			return fmt.Errorf("repro: proxy scale_gb must be > 0, got %v", s.Proxy.ScaleGB)
+		}
+		if s.Proxy.Nodes < 0 {
+			return fmt.Errorf("repro: proxy nodes must be ≥ 0, got %d", s.Proxy.Nodes)
+		}
+	}
+	return nil
+}
+
+// Job materializes the spec: it validates, builds the target and tuner,
+// and returns the engine job describing the session.
+func (s Spec) Job() (Job, error) {
+	if err := s.Validate(); err != nil {
+		return Job{}, err
+	}
+	target, err := NewTarget(s.System, s.Workload, s.Seed, s.Target)
+	if err != nil {
+		return Job{}, err
+	}
+	topt := TunerOptions{Seed: s.Seed, TargetName: target.Name()}
+	if s.Proxy != nil {
+		po := s.Target
+		po.ScaleGB = s.Proxy.ScaleGB
+		if s.Proxy.Nodes > 0 {
+			po.Nodes = s.Proxy.Nodes
+		}
+		// The replica gets its own derived seed so its simulations draw a
+		// noise stream independent of the full-scale target's.
+		proxy, err := NewTarget(s.System, s.Workload, s.Seed+1, po)
+		if err != nil {
+			return Job{}, fmt.Errorf("repro: building proxy target: %w", err)
+		}
+		topt.Proxy = proxy
+	}
+	tuner, err := NewTuner(s.Tuner, topt)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{
+		Name:     s.Name(),
+		Tuner:    tuner,
+		Target:   target,
+		Budget:   s.Budget,
+		Parallel: s.Parallel,
+		Memo:     s.Memo,
+	}, nil
+}
+
+// defaultEngine serves package-level Start calls: one shared scheduler
+// sized to the machine.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	return engine.New(engine.Options{})
+})
+
+// Start materializes spec and submits it to the shared default engine,
+// returning the live session handle. The handle's Events stream delivers
+// TrialStarted/TrialDone/IncumbentImproved/SessionDone in trial order, and
+// Pause/Resume/Stop control the run mid-flight. For a fixed spec and seed
+// the final result equals what the blocking path (NewTarget + NewTuner +
+// Tune) returns, and the event sequence is byte-identical at any Parallel.
+// Cancelling ctx stops the run.
+func Start(ctx context.Context, spec Spec) (*Run, error) {
+	return StartOn(ctx, defaultEngine(), spec)
+}
+
+// StartOn is Start on a caller-owned engine — the daemon uses it to bound
+// concurrent sessions with its own scheduler.
+func StartOn(ctx context.Context, e *Engine, spec Spec) (*Run, error) {
+	job, err := spec.Job()
+	if err != nil {
+		return nil, err
+	}
+	return e.SubmitContext(ctx, job), nil
+}

@@ -1,0 +1,305 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/tune"
+)
+
+// TestSpecJSONRoundTrip: a fully populated spec survives encoding/json
+// unchanged — the property that makes specs servable and recordable.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{
+		System:   "spark",
+		Workload: "terasort",
+		Tuner:    "scaled-proxy",
+		Seed:     1234,
+		Budget:   Budget{Trials: 25, SimTime: 3600},
+		Target: TargetOptions{
+			ScaleGB: 80, Nodes: 32, Heterogeneous: true,
+			TenantLoad: 0.3, FullSparkSpace: true,
+		},
+		Proxy:    &ProxySpec{ScaleGB: 4, Nodes: 4},
+		Parallel: 4,
+		Memo:     true,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Errorf("round trip changed the spec:\n  in:  %+v\n  out: %+v", spec, back)
+	}
+	// Wire names stay snake_case: remote clients program against them.
+	for _, key := range []string{`"system"`, `"workload"`, `"tuner"`, `"seed"`, `"budget"`, `"trials"`, `"sim_time"`, `"scale_gb"`, `"tenant_load"`, `"full_spark_space"`, `"proxy"`, `"parallel"`, `"memo"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("spec JSON missing %s: %s", key, data)
+		}
+	}
+}
+
+// TestSpecValidate rejects unknown names and bad ranges with messages that
+// name the offending field.
+func TestSpecValidate(t *testing.T) {
+	ok := Spec{System: "dbms", Workload: "tpch", Tuner: "ituned", Budget: Budget{Trials: 5}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		mutate func(*Spec)
+		want   string
+	}{
+		{func(s *Spec) { s.System = "nosuch" }, "unknown system"},
+		{func(s *Spec) { s.Workload = "nosuch" }, "unknown dbms workload"},
+		{func(s *Spec) { s.Tuner = "nosuch" }, "unknown tuner"},
+		{func(s *Spec) { s.Budget.Trials = -1 }, "trials"},
+		{func(s *Spec) { s.Budget.SimTime = -2 }, "sim_time"},
+		{func(s *Spec) { s.Budget = Budget{} }, "requires budget.trials > 0"},
+		{func(s *Spec) { s.Budget = Budget{Trials: 0, SimTime: 100} }, "requires budget.trials > 0"},
+		{func(s *Spec) { s.Parallel = -1 }, "parallel"},
+		{func(s *Spec) { s.Target.TenantLoad = 0.95 }, "TenantLoad"},
+		{func(s *Spec) { s.Proxy = &ProxySpec{ScaleGB: 0} }, "proxy"},
+	}
+	for _, c := range cases {
+		spec := ok
+		c.mutate(&spec)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%+v) = %v, want error containing %q", spec, err, c.want)
+		}
+	}
+}
+
+// TestNewTargetValidation is the facade-hardening satellite: out-of-range
+// options are rejected with descriptive errors instead of being accepted
+// silently.
+func TestNewTargetValidation(t *testing.T) {
+	cases := []struct {
+		opts TargetOptions
+		want string
+	}{
+		{TargetOptions{TenantLoad: -0.1}, "TenantLoad"},
+		{TargetOptions{TenantLoad: 0.91}, "TenantLoad"},
+		{TargetOptions{ScaleGB: -1}, "ScaleGB"},
+		{TargetOptions{Nodes: -2}, "Nodes"},
+	}
+	for _, c := range cases {
+		_, err := NewTarget("dbms", "tpch", 1, c.opts)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("NewTarget(%+v) = %v, want error containing %q", c.opts, err, c.want)
+		}
+	}
+	// The documented edge of the range is accepted.
+	if _, err := NewTarget("dbms", "tpch", 1, TargetOptions{TenantLoad: 0.9, ScaleGB: 1}); err != nil {
+		t.Errorf("TenantLoad 0.9 should be accepted: %v", err)
+	}
+}
+
+// TestStartMatchesBlockingTune is the first acceptance criterion: for a
+// fixed spec and seed the session-handle path produces the same final
+// result as the blocking string-constructor path.
+func TestStartMatchesBlockingTune(t *testing.T) {
+	spec := Spec{
+		System: "dbms", Workload: "tpch", Tuner: "ituned",
+		Seed: 7, Budget: Budget{Trials: 12},
+		Target: TargetOptions{ScaleGB: 2},
+	}
+	run, err := Start(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, err := run.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target, err := NewTarget(spec.System, spec.Workload, spec.Seed, spec.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := NewTuner(spec.Tuner, TunerOptions{Seed: spec.Seed, TargetName: target.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking, err := Tune(context.Background(), target, tn, spec.Budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := json.Marshal(handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("handle and blocking results differ:\n  handle:   %s\n  blocking: %s", a, b)
+	}
+}
+
+// TestStartEventStreamDeterministicAcrossParallel is the second acceptance
+// criterion: the TrialDone event sequence is byte-identical at parallel 1
+// and parallel 4 for the same spec and seed.
+func TestStartEventStreamDeterministicAcrossParallel(t *testing.T) {
+	stream := func(parallel int) [][]byte {
+		spec := Spec{
+			System: "dbms", Workload: "tpch", Tuner: "ituned",
+			Seed: 21, Budget: Budget{Trials: 14},
+			Target:   TargetOptions{ScaleGB: 2},
+			Parallel: parallel,
+		}
+		run, err := Start(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done [][]byte
+		for ev := range run.Events() {
+			if ev.Kind != TrialDone {
+				continue
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = append(done, data)
+		}
+		if _, err := run.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	seq := stream(1)
+	par := stream(4)
+	if len(seq) == 0 || len(seq) != len(par) {
+		t.Fatalf("trial_done counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Fatalf("trial_done %d differs:\n  parallel 1: %s\n  parallel 4: %s", i, seq[i], par[i])
+		}
+	}
+}
+
+// —— registry plug-ins ————————————————————————————————————————————————————
+
+// flatTarget is a minimal external system: quadratic bowl around a=0.7.
+type flatTarget struct {
+	space *tune.Space
+	seed  int64
+}
+
+func (f *flatTarget) Name() string       { return "customsys/bowl" }
+func (f *flatTarget) Space() *tune.Space { return f.space }
+func (f *flatTarget) Run(cfg tune.Config) tune.Result {
+	d := cfg.Float("a") - 0.7
+	return tune.Result{Time: 1 + d*d}
+}
+
+// fixedTuner is a minimal external algorithm: it evaluates a fixed ladder
+// of configurations through a session.
+type fixedTuner struct{ seed int64 }
+
+func (f *fixedTuner) Name() string { return "custom/fixed" }
+func (f *fixedTuner) Tune(ctx context.Context, target tune.Target, b tune.Budget) (*tune.TuningResult, error) {
+	s := tune.NewSession(ctx, target, b)
+	for _, a := range []float64{0.1, 0.5, 0.7, 0.9} {
+		if _, err := s.Run(target.Space().Default().With("a", a)); err != nil {
+			if err == tune.ErrBudgetExhausted {
+				break
+			}
+			return nil, err
+		}
+	}
+	return s.Finish(f.Name(), tune.Config{}), nil
+}
+
+// TestRegistriesPlugInByName registers an external system and tuner and
+// drives them through the full declarative path: Spec → Start → events →
+// result. This is the extension seam the daemon exposes to other systems.
+func TestRegistriesPlugInByName(t *testing.T) {
+	err := RegisterTarget("customsys", TargetFactory{
+		Workloads: []string{"bowl"},
+		New: func(wl string, seed int64, o TargetOptions) (Target, error) {
+			return &flatTarget{space: tune.NewSpace(tune.Float("a", 0, 1, 0.5)), seed: seed}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterTuner("custom-fixed", "external", "fixed ladder probe", func(o TunerOptions) (Tuner, error) {
+		return &fixedTuner{seed: o.Seed}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both registries now list the plug-ins.
+	found := false
+	for _, s := range Systems() {
+		if s == "customsys" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("customsys not listed in Systems()")
+	}
+	if cat, _, ok := TunerInfo("custom-fixed"); !ok || cat != "external" {
+		t.Errorf("TunerInfo(custom-fixed) = %q, %v", cat, ok)
+	}
+
+	run, err := Start(context.Background(), Spec{
+		System: "customsys", Workload: "bowl", Tuner: "custom-fixed",
+		Seed: 1, Budget: Budget{Trials: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Errorf("custom session ran %d trials, want 4", len(res.Trials))
+	}
+	if got := res.Best.Float("a"); got != 0.7 {
+		t.Errorf("best a = %v, want 0.7", got)
+	}
+
+	// A factory with no declared workload list accepts open-ended names:
+	// Spec validation defers to the factory, like NewTarget does.
+	if err := RegisterTarget("customopen", TargetFactory{
+		New: func(wl string, seed int64, o TargetOptions) (Target, error) {
+			return &flatTarget{space: tune.NewSpace(tune.Float("a", 0, 1, 0.5)), seed: seed}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	openSpec := Spec{System: "customopen", Workload: "anything-goes", Tuner: "custom-fixed", Budget: Budget{Trials: 1}}
+	if err := openSpec.Validate(); err != nil {
+		t.Errorf("open workload namespace rejected: %v", err)
+	}
+
+	// Duplicate and malformed registrations are rejected.
+	if err := RegisterTarget("customsys", TargetFactory{New: func(string, int64, TargetOptions) (Target, error) { return nil, nil }}); err == nil {
+		t.Error("duplicate RegisterTarget should error")
+	}
+	if err := RegisterTuner("custom-fixed", "x", "y", func(TunerOptions) (Tuner, error) { return nil, nil }); err == nil {
+		t.Error("duplicate RegisterTuner should error")
+	}
+	if err := RegisterTarget("", TargetFactory{}); err == nil {
+		t.Error("empty RegisterTarget should error")
+	}
+	if err := RegisterTuner("", "", "", nil); err == nil {
+		t.Error("empty RegisterTuner should error")
+	}
+}
