@@ -199,7 +199,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkGPFit measures Gaussian-process fitting cost versus training size
 // — the per-iteration overhead of model-guided tuning.
 func BenchmarkGPFit(b *testing.B) {
-	for _, n := range []int{20, 60} {
+	for _, n := range []int{20, 40, 60} {
 		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
 			target := ablationTarget(5)
 			space := target.Space()
@@ -215,6 +215,56 @@ func BenchmarkGPFit(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				g := gp.New(gp.Matern52)
 				if err := g.Fit(xs, ys, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPAppend measures incremental conditioning on one new observation
+// — the bordered-Cholesky append behind ReoptimizeEvery > 1 — against the
+// O(n³) hyper-searched refit it replaces (BenchmarkGPFit at the same n).
+func BenchmarkGPAppend(b *testing.B) {
+	for _, n := range []int{20, 40, 60} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			target := ablationTarget(6)
+			space := target.Space()
+			var xs [][]float64
+			var ys []float64
+			rnd := space.Default()
+			for i := 0; i <= n; i++ {
+				rnd = space.Perturb(rnd, 0.3, randFor(int64(i)))
+				xs = append(xs, rnd.Vector())
+				ys = append(ys, target.Run(rnd).Time)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := gp.New(gp.Matern52)
+				if err := g.Fit(xs[:n], ys[:n], true); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := g.Append(xs[n], ys[n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkITunedReoptimizeEvery compares full per-round hyperparameter
+// search (the default, every=1) against incremental GP conditioning
+// (every=5) over a whole tuning session.
+func BenchmarkITunedReoptimizeEvery(b *testing.B) {
+	for _, every := range []int{1, 5} {
+		b.Run("every="+strconv.Itoa(every), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				target := ablationTarget(int64(500 + i))
+				it := experiment.NewITuned(int64(i))
+				it.ReoptimizeEvery = every
+				if _, err := it.Tune(context.Background(), target, tune.Budget{Trials: 30}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -21,69 +21,170 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	if a.R != a.C {
 		return nil, errors.New("linalg: cholesky of non-square matrix")
 	}
-	n := a.R
-	l := New(n, n)
-	for j := 0; j < n; j++ {
-		var d float64 = a.At(j, j)
-		for k := 0; k < j; k++ {
-			v := l.At(j, k)
-			d -= v * v
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		d = math.Sqrt(d)
-		l.Set(j, j, d)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/d)
-		}
+	l := New(a.R, a.R)
+	if err := CholeskyInto(a, l); err != nil {
+		return nil, err
 	}
 	return &Cholesky{L: l}, nil
 }
 
+// dot4 returns Σ a[i]·b[i] accumulated in four interleaved partial sums.
+// The interleaving breaks the floating-point add dependency chain (the
+// Cholesky inner-loop bottleneck) while keeping a fixed, deterministic
+// summation order. CholeskyInto and Extend share it so a bordered extension
+// stays bit-identical to a full refactorization.
+func dot4(a, b []float64) float64 {
+	b = b[:len(a)] // bounds-check elimination hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// CholeskyInto factors a into the preallocated n×n matrix l, allocating
+// nothing. It is the workspace-reuse form of NewCholesky for hot loops that
+// factor many same-sized matrices (the GP hyperparameter grid). The strict
+// upper triangle of l is zeroed; arithmetic order matches NewCholesky exactly,
+// so the two produce bit-identical factors.
+func CholeskyInto(a, l *Matrix) error {
+	n := a.R
+	if a.C != n || l.R != n || l.C != n {
+		return errors.New("linalg: cholesky dimension mismatch")
+	}
+	ad, ld := a.Data, l.Data
+	for j := 0; j < n; j++ {
+		rowj := ld[j*n : j*n+j]
+		d := ad[j*n+j] - dot4(rowj, rowj)
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		ld[j*n+j] = d
+		for k := j + 1; k < n; k++ {
+			ld[j*n+k] = 0
+		}
+		for i := j + 1; i < n; i++ {
+			// dot4(ld[i*n:i*n+j], rowj) inlined by hand (a closed loop keeps
+			// the callee out of the inliner); accumulation order must stay
+			// identical to dot4 so Extend remains bit-compatible.
+			ri := ld[i*n : i*n+j]
+			ri = ri[:len(rowj)]
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+4 <= len(ri); k += 4 {
+				s0 += ri[k] * rowj[k]
+				s1 += ri[k+1] * rowj[k+1]
+				s2 += ri[k+2] * rowj[k+2]
+				s3 += ri[k+3] * rowj[k+3]
+			}
+			for ; k < len(ri); k++ {
+				s0 += ri[k] * rowj[k]
+			}
+			ld[i*n+j] = (ad[i*n+j] - ((s0 + s1) + (s2 + s3))) / d
+		}
+	}
+	return nil
+}
+
+// Extend returns the factor of the (n+1)×(n+1) bordered matrix
+//
+//	[ A   r ]
+//	[ rᵀ  d ]
+//
+// given the receiver's factor of A, the cross row r, and the new diagonal
+// entry d. It costs O(n²) — one forward substitution plus a copy — versus
+// O(n³) for refactorizing from scratch, and computes every entry with the
+// same arithmetic, in the same order, as NewCholesky on the bordered matrix,
+// so the result is bit-identical to a full refactorization. This is what
+// makes incremental GP conditioning safe under the repository's determinism
+// guarantee.
+func (c *Cholesky) Extend(row []float64, diag float64) (*Cholesky, error) {
+	n := c.L.R
+	if len(row) != n {
+		return nil, errors.New("linalg: extend row length mismatch")
+	}
+	m := n + 1
+	nl := New(m, m)
+	old := c.L.Data
+	for i := 0; i < n; i++ {
+		copy(nl.Data[i*m:i*m+i+1], old[i*n:i*n+i+1])
+	}
+	last := nl.Data[n*m : n*m+n]
+	for j := 0; j < n; j++ {
+		rowj := nl.Data[j*m : j*m+j]
+		s := row[j] - dot4(last[:j], rowj)
+		last[j] = s / nl.Data[j*m+j]
+	}
+	d := diag - dot4(last, last)
+	if d <= 0 || math.IsNaN(d) {
+		return nil, ErrNotPositiveDefinite
+	}
+	nl.Data[n*m+n] = math.Sqrt(d)
+	return &Cholesky{L: nl}, nil
+}
+
 // SolveVec solves A·x = b given the factorization.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
-	y := c.forward(b)
-	return c.backward(y)
-}
-
-// forward solves L·y = b.
-func (c *Cholesky) forward(b []float64) []float64 {
-	n := c.L.R
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= c.L.At(i, k) * y[k]
-		}
-		y[i] = s / c.L.At(i, i)
-	}
-	return y
-}
-
-// backward solves Lᵀ·x = y.
-func (c *Cholesky) backward(y []float64) []float64 {
-	n := c.L.R
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.L.At(k, i) * x[k]
-		}
-		x[i] = s / c.L.At(i, i)
-	}
+	x := make([]float64, len(b))
+	c.SolveVecInto(x, b)
 	return x
 }
 
-// LogDet returns log|A| = 2·Σ log L[i][i].
+// SolveLowerInto solves the triangular system L·y = b into the preallocated
+// dst (forward substitution only). The GP grid search uses it to get the
+// quadratic form yᵀA⁻¹y = ‖L⁻¹y‖² without the backward half of a full solve.
+// dst and b may alias.
+func (c *Cholesky) SolveLowerInto(dst, b []float64) {
+	n := c.L.R
+	ld := c.L.Data
+	for i := 0; i < n; i++ {
+		s := b[i] - dot4(ld[i*n:i*n+i], dst[:i])
+		dst[i] = s / ld[i*n+i]
+	}
+}
+
+// SolveVecInto solves A·x = b into the preallocated dst, allocating nothing.
+// dst and b may alias.
+func (c *Cholesky) SolveVecInto(dst, b []float64) {
+	n := c.L.R
+	ld := c.L.Data
+	c.SolveLowerInto(dst, b)
+	// Backward in place: Lᵀ·x = y. dst[i] still holds y[i] when read.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= ld[k*n+i] * dst[k]
+		}
+		dst[i] = s / ld[i*n+i]
+	}
+}
+
+// LogDet returns log|A| = 2·Σ log L[i][i]. The diagonal entries are
+// multiplied in chunks of 16 so one Log call covers 16 of them; GP factor
+// diagonals sit in [1e-4, ~1e1], far from over/underflow at that chunk size.
 func (c *Cholesky) LogDet() float64 {
+	n := c.L.R
+	ld := c.L.Data
 	var s float64
-	for i := 0; i < c.L.R; i++ {
-		s += math.Log(c.L.At(i, i))
+	prod := 1.0
+	count := 0
+	for i := 0; i < n; i++ {
+		prod *= ld[i*n+i]
+		if count++; count == 16 {
+			s += math.Log(prod)
+			prod, count = 1.0, 0
+		}
+	}
+	if prod != 1.0 {
+		s += math.Log(prod)
 	}
 	return 2 * s
 }

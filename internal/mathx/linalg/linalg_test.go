@@ -115,6 +115,121 @@ func TestCholeskyReconstruction(t *testing.T) {
 	}
 }
 
+// randSPD returns a random n×n SPD matrix A = BᵀB + I.
+func randSPD(n int, r *rand.Rand) *Matrix {
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	return b.T().Mul(b).AddDiag(1)
+}
+
+// Extend must produce the factor a full refactorization of the bordered
+// matrix would — bit for bit, not just within tolerance. That equality is
+// what lets the GP condition on one new observation in O(n²) without
+// breaking the repository's byte-identical determinism guarantee.
+func TestCholeskyExtendBitIdenticalToFullFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randSPD(n+1, rng)
+		lead := New(n, n)
+		for i := 0; i < n; i++ {
+			copy(lead.Data[i*n:(i+1)*n], a.Data[i*(n+1):i*(n+1)+n])
+		}
+		base, err := NewCholesky(lead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = a.At(n, j)
+		}
+		ext, err := base.Extend(row, a.At(n, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full.L.Data {
+			if ext.L.Data[i] != full.L.Data[i] {
+				t.Fatalf("n=%d: Extend differs from full factorization at flat index %d: %v vs %v",
+					n, i, ext.L.Data[i], full.L.Data[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendRejectsBadInput(t *testing.T) {
+	ch, err := NewCholesky(FromRows([][]float64{{4, 2}, {2, 3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Extend([]float64{1}, 5); err == nil {
+		t.Error("short row should error")
+	}
+	// A bordered matrix that is not positive definite: diag too small.
+	if _, err := ch.Extend([]float64{2, 2}, 0.5); err == nil {
+		t.Error("indefinite extension should error")
+	}
+}
+
+func TestCholeskyIntoMatchesNewCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 9
+	l := New(n, n)
+	for i := range l.Data {
+		l.Data[i] = 99 // stale workspace contents must not leak through
+	}
+	a := randSPD(n, rng)
+	if err := CholeskyInto(a, l); err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Data {
+		if l.Data[i] != want.L.Data[i] {
+			t.Fatalf("CholeskyInto differs at %d: %v vs %v", i, l.Data[i], want.L.Data[i])
+		}
+	}
+	if err := CholeskyInto(a, New(n, n+1)); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestSolveVecIntoMatchesSolveVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSPD(7, rng)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 7)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := ch.SolveVec(b)
+	dst := make([]float64, 7)
+	ch.SolveVecInto(dst, b)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SolveVecInto differs at %d", i)
+		}
+	}
+	// Aliased dst and b must work too.
+	alias := append([]float64(nil), b...)
+	ch.SolveVecInto(alias, alias)
+	for i := range want {
+		if alias[i] != want[i] {
+			t.Fatalf("aliased SolveVecInto differs at %d", i)
+		}
+	}
+}
+
 func TestCholeskyWithJitterRecovers(t *testing.T) {
 	// Singular matrix: jitter should make it factorizable.
 	a := FromRows([][]float64{{1, 1}, {1, 1}})

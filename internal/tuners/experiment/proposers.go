@@ -84,6 +84,13 @@ func (p *gridProposer) Observe(tune.Trial) {}
 // within-round candidates are separated by penalizing EI near already-
 // chosen points (a liar-free stand-in for q-EI), so a round's proposals
 // depend only on observed history — never on worker scheduling.
+//
+// Each GP round screens a pool of uniform candidates with one batched
+// ScoreCandidates call, then polishes the best screened start with a local
+// simplex search — far fewer acquisition evaluations than cold multi-start,
+// and the ones that remain are allocation-free. The model persists across
+// rounds: with ReoptimizeEvery > 1, in-between rounds absorb new
+// observations through gp.Append instead of refitting.
 type itunedProposer struct {
 	t     *ITuned
 	space *tune.Space
@@ -95,6 +102,53 @@ type itunedProposer struct {
 	ys        []float64
 	bestX     []float64
 	incumbent float64
+
+	model    *gp.GP
+	absorbed int // observations the model has conditioned on
+	round    int // GP rounds run
+	scores   []float64
+}
+
+// screenPool is how many uniform candidates each GP round scores in the
+// batched screening pass before polishing.
+const screenPool = 48
+
+// batchPenalty shrinks an acquisition score near points already chosen this
+// round so a batch spreads out instead of piling onto one optimum.
+func batchPenalty(x []float64, chosen [][]float64) float64 {
+	pen := 1.0
+	for _, c := range chosen {
+		pen *= 1 - math.Exp(-sqDist(x, c)/(0.15*0.15))
+	}
+	return pen
+}
+
+// ensureModel brings the GP in sync with the observed history: a full
+// hyperparameter-searched refit on re-optimization rounds, an incremental
+// append otherwise. Reports false when fitting failed (degenerate surface).
+func (p *itunedProposer) ensureModel() bool {
+	every := p.t.ReoptimizeEvery
+	if every < 1 {
+		every = 1
+	}
+	reopt := p.model == nil || p.round%every == 0
+	p.round++
+	if reopt {
+		m := gp.New(p.t.Kernel)
+		if err := m.Fit(p.xs, p.ys, len(p.xs) <= 60); err != nil {
+			p.model = nil
+			return false
+		}
+		p.model, p.absorbed = m, len(p.xs)
+		return true
+	}
+	for ; p.absorbed < len(p.xs); p.absorbed++ {
+		if err := p.model.Append(p.xs[p.absorbed], p.ys[p.absorbed]); err != nil {
+			p.model = nil
+			return false
+		}
+	}
+	return true
 }
 
 // NewProposer implements tune.BatchTuner.
@@ -131,28 +185,37 @@ func (p *itunedProposer) Propose(n int) []tune.Config {
 		return nil
 	}
 	d := p.space.Dim()
-	kernel := p.t.Kernel
-	model := gp.New(kernel)
-	if err := model.Fit(p.xs, p.ys, len(p.xs) <= 60); err != nil {
+	if !p.ensureModel() {
 		// Degenerate surface: fall back to one random probe.
 		return []tune.Config{p.space.Random(p.rng)}
 	}
+	model := p.model
 	k := p.batch
 	if k > n {
 		k = n
 	}
+	// Screen: one batched scoring pass over the incumbent plus a uniform
+	// candidate pool.
+	pool := make([][]float64, 0, screenPool+1)
+	pool = append(pool, p.bestX)
+	for i := 0; i < screenPool; i++ {
+		pool = append(pool, randPoint(d, p.rng))
+	}
+	p.scores = model.ScoreCandidates(pool, p.incumbent, p.scores)
 	out := make([]tune.Config, 0, k)
 	var chosen [][]float64
 	for i := 0; i < k; i++ {
-		next := opt.MultiStart(func(x []float64) float64 {
-			v := -model.ExpectedImprovement(x, p.incumbent)
-			// Shrink EI near points already picked this round so the batch
-			// spreads out instead of piling onto one optimum.
-			for _, c := range chosen {
-				v *= 1 - math.Exp(-sqDist(x, c)/(0.15*0.15))
+		// Pick the best screened start under the spread penalty, then
+		// polish it with a local simplex search on penalized EI.
+		bestAt, bestScore := 0, math.Inf(-1)
+		for c, cand := range pool {
+			if s := p.scores[c] * batchPenalty(cand, chosen); s > bestScore {
+				bestAt, bestScore = c, s
 			}
-			return v
-		}, d, 6, 60, [][]float64{p.bestX}, p.rng)
+		}
+		next := opt.NelderMead(func(x []float64) float64 {
+			return -model.ExpectedImprovement(x, p.incumbent) * batchPenalty(x, chosen)
+		}, pool[bestAt], 0.15, 60)
 		x := next.X
 		if next.F >= 0 { // no positive EI left: explore
 			x = randPoint(d, p.rng)

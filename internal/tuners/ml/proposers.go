@@ -19,7 +19,11 @@ import (
 // initialization and stays one-at-a-time afterwards — each proposal
 // retrains the surrogate on everything observed so far.
 
-// otProposer is OtterTune in ask/tell form.
+// otProposer is OtterTune in ask/tell form. Like the iTuned proposer, its
+// GP rounds screen a candidate pool over the active knobs with one batched
+// ScoreCandidates call and polish the best start with a local simplex
+// search; the model persists across rounds, absorbing new observations
+// incrementally between hyperparameter re-optimizations.
 type otProposer struct {
 	t     *OtterTune
 	space *tune.Space
@@ -40,6 +44,64 @@ type otProposer struct {
 	nObs        float64
 	bestX       []float64
 	incumbent   float64
+
+	model    *gp.GP
+	absorbed int // target observations the model has conditioned on
+	round    int // GP rounds run
+	scores   []float64
+}
+
+// screenPool is how many candidate knob settings each GP round scores in
+// the batched screening pass before polishing.
+const screenPool = 48
+
+// batchPenalty shrinks an acquisition score near sub-vectors already chosen
+// this round so a batch spreads out across the active knobs.
+func batchPenalty(sub []float64, chosen [][]float64) float64 {
+	pen := 1.0
+	for _, c := range chosen {
+		pen *= 1 - math.Exp(-sqDistSub(sub, c)/(0.15*0.15))
+	}
+	return pen
+}
+
+// embed writes sub into the active knob positions of dst (a copy of base).
+func (p *otProposer) embed(dst, base, sub []float64) []float64 {
+	copy(dst, base)
+	for j, v := range sub {
+		dst[p.active[j]] = v
+	}
+	return dst
+}
+
+// ensureModel syncs the GP with the mapped corpus plus observed history:
+// a hyperparameter-searched refit on re-optimization rounds, incremental
+// appends otherwise. Reports false when fitting failed.
+func (p *otProposer) ensureModel() bool {
+	every := p.t.ReoptimizeEvery
+	if every < 1 {
+		every = 1
+	}
+	reopt := p.model == nil || p.round%every == 0
+	p.round++
+	if reopt {
+		gx := append(append([][]float64(nil), p.mappedX...), p.xs...)
+		gy := append(append([]float64(nil), p.mappedY...), p.ys...)
+		m := gp.New(gp.Matern52)
+		if err := m.Fit(gx, gy, len(gx) <= 80); err != nil {
+			p.model = nil
+			return false
+		}
+		p.model, p.absorbed = m, len(p.xs)
+		return true
+	}
+	for ; p.absorbed < len(p.xs); p.absorbed++ {
+		if err := p.model.Append(p.xs[p.absorbed], p.ys[p.absorbed]); err != nil {
+			p.model = nil
+			return false
+		}
+	}
+	return true
 }
 
 // NewProposer implements tune.BatchTuner: the offline phase.
@@ -134,31 +196,45 @@ func (p *otProposer) Propose(n int) []tune.Config {
 	if !p.mapped {
 		p.mapWorkloadOnce()
 	}
-	gx := append(append([][]float64(nil), p.mappedX...), p.xs...)
-	gy := append(append([]float64(nil), p.mappedY...), p.ys...)
-	model := gp.New(gp.Matern52)
-	if err := model.Fit(gx, gy, len(gx) <= 80); err != nil {
+	if !p.ensureModel() {
 		return []tune.Config{p.space.Random(p.rng)}
 	}
+	model := p.model
 	k := p.batch
 	if k > n {
 		k = n
 	}
 	base := p.bestX
+	// Screen: batch-score the incumbent's active knobs plus a uniform pool
+	// of knob settings, each embedded into the incumbent configuration.
+	subs := make([][]float64, 0, screenPool+1)
+	subs = append(subs, subVector(base, p.active))
+	for i := 0; i < screenPool; i++ {
+		sub := make([]float64, p.topK)
+		for j := range sub {
+			sub[j] = p.rng.Float64()
+		}
+		subs = append(subs, sub)
+	}
+	fulls := make([][]float64, len(subs))
+	for i, sub := range subs {
+		fulls[i] = p.embed(make([]float64, len(base)), base, sub)
+	}
+	p.scores = model.ScoreCandidates(fulls, p.incumbent, p.scores)
 	out := make([]tune.Config, 0, k)
 	var chosen [][]float64
+	xbuf := make([]float64, len(base))
 	for i := 0; i < k; i++ {
-		next := opt.MultiStart(func(sub []float64) float64 {
-			x := append([]float64(nil), base...)
-			for j, v := range sub {
-				x[p.active[j]] = v
+		bestAt, bestScore := 0, math.Inf(-1)
+		for c, sub := range subs {
+			if s := p.scores[c] * batchPenalty(sub, chosen); s > bestScore {
+				bestAt, bestScore = c, s
 			}
-			v := -model.ExpectedImprovement(x, p.incumbent)
-			for _, c := range chosen {
-				v *= 1 - math.Exp(-sqDistSub(sub, c)/(0.15*0.15))
-			}
-			return v
-		}, p.topK, 6, 50, [][]float64{subVector(base, p.active)}, p.rng)
+		}
+		next := opt.NelderMead(func(sub []float64) float64 {
+			p.embed(xbuf, base, sub)
+			return -model.ExpectedImprovement(xbuf, p.incumbent) * batchPenalty(sub, chosen)
+		}, subs[bestAt], 0.15, 50)
 		sub := next.X
 		if next.F >= 0 { // no positive EI: explore the active knobs
 			sub = make([]float64, p.topK)
@@ -167,11 +243,7 @@ func (p *otProposer) Propose(n int) []tune.Config {
 			}
 		}
 		chosen = append(chosen, sub)
-		x := append([]float64(nil), base...)
-		for j, v := range sub {
-			x[p.active[j]] = v
-		}
-		out = append(out, p.space.FromVector(x))
+		out = append(out, p.space.FromVector(p.embed(make([]float64, len(base)), base, sub)))
 	}
 	return out
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench.sh — record the repository's headline performance numbers.
+#
+# Runs the benchmarks the perf trajectory is tracked by (GP fitting and
+# appending, the Table-1 harness, the GP-kernel ablation) and writes a JSON
+# file (default BENCH_pr3.json) with three sections: current ns/op, the
+# pre-PR3 baseline (embedded below so regeneration never loses the record),
+# and the speedup of current over baseline where both exist.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=10x scripts/bench.sh     # more reps for quieter numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr3.json}"
+benchtime="${BENCHTIME:-5x}"
+
+# ns/op measured at the pre-PR3 tree (benchtime 5x, same host class);
+# BenchmarkGPAppend did not exist before PR 3.
+baseline='BenchmarkTable1 260176982
+BenchmarkAblationGPKernel/matern52 4927406
+BenchmarkAblationGPKernel/sqexp 5171192
+BenchmarkGPFit/n=20 1515498
+BenchmarkGPFit/n=40 5216130
+BenchmarkGPFit/n=60 14859040'
+
+raw=$(go test -run '^$' -bench 'BenchmarkGPFit|BenchmarkGPAppend|BenchmarkTable1$|BenchmarkAblationGPKernel' -benchtime "$benchtime" .)
+printf '%s\n' "$raw" >&2
+
+{
+  printf '%s\n' "$raw"
+  printf 'BASELINE\n'
+  printf '%s\n' "$baseline"
+} | awk -v benchtime="$benchtime" '
+  /^BASELINE$/ { inBase = 1; next }
+  inBase       { base[$1] = $2; order[nb++] = $1; next }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    cur[name] = $3
+    curOrder[nc++] = name
+  }
+  END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"ns_per_op\": {\n"
+    for (i = 0; i < nc; i++)
+      printf "    \"%s\": %s%s\n", curOrder[i], cur[curOrder[i]], i < nc-1 ? "," : ""
+    printf "  },\n"
+    printf "  \"baseline_ns_per_op\": {\n"
+    for (i = 0; i < nb; i++)
+      printf "    \"%s\": %s%s\n", order[i], base[order[i]], i < nb-1 ? "," : ""
+    printf "  },\n"
+    printf "  \"speedup\": {\n"
+    sep = ""
+    for (i = 0; i < nb; i++) {
+      n = order[i]
+      if (n in cur && cur[n] > 0) {
+        printf "%s    \"%s\": %.2f", sep, n, base[n] / cur[n]
+        sep = ",\n"
+      }
+    }
+    printf "\n  }\n"
+    printf "}\n"
+  }' > "$out"
+echo "wrote $out" >&2
