@@ -48,6 +48,9 @@ type (
 	Config = tune.Config
 	// Repository is a corpus of past tuning sessions.
 	Repository = tune.Repository
+	// SessionRecord is one archived tuning session: what the durable
+	// repository stores and what Job.Archive hands off.
+	SessionRecord = tune.SessionRecord
 	// TuningResult is the outcome of a tuning session.
 	TuningResult = tune.TuningResult
 	// Proposer is the ask/tell face of a tuning algorithm.

@@ -6,11 +6,15 @@
 //	autotune -system dbms -workload tpch -tuner ituned -trials 30
 //	autotune -system dbms -workload tpch -tuner ituned -parallel 4
 //	autotune -system dbms -workload tpch -tuner ituned -progress
+//	autotune -system dbms -workload mixed -tuner ituned -repo ./repo -warm-start
 //	autotune -list
 //
 // -parallel N evaluates proposed trial batches on N workers; results are
 // identical at any parallelism for a fixed seed. -progress renders a live
-// trial-count/incumbent line from the session's event stream.
+// trial-count/incumbent line from the session's event stream. -repo names
+// a durable repository directory: past sessions load from it (feeding
+// repository-driven tuners and -warm-start's transfer) and this session is
+// archived back into it on success.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	repro "repro"
 	"repro/internal/tune"
+	"repro/internal/tune/store"
 )
 
 func main() {
@@ -40,8 +45,14 @@ func main() {
 		list      = flag.Bool("list", false, "list systems, workloads and tuners")
 		showCurve = flag.Bool("curve", false, "print the best-so-far tuning curve")
 		progress  = flag.Bool("progress", false, "render a live trial/incumbent line from the event stream")
+		repoDir   = flag.String("repo", "", "durable tuning-repository directory (load history, archive this session)")
+		warmStart = flag.Bool("warm-start", false, "seed the tuner from the nearest past workload in -repo")
 	)
 	flag.Parse()
+
+	if *warmStart && *repoDir == "" {
+		fatal(fmt.Errorf("-warm-start requires -repo"))
+	}
 
 	if *list {
 		fmt.Println("systems and workloads:")
@@ -66,9 +77,34 @@ func main() {
 	defRes := target.Run(def)
 	fmt.Printf("target %s: default configuration runs in %.1fs\n", target.Name(), defRes.Time)
 
-	tn, err := repro.NewTuner(*tuner, repro.TunerOptions{Seed: *seed, TargetName: target.Name()})
+	var features map[string]float64
+	if d, ok := target.(tune.Describer); ok {
+		features = d.WorkloadFeatures()
+	}
+	var st *store.FileStore
+	var repo *repro.Repository
+	if *repoDir != "" {
+		st, err = store.Open(*repoDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		repo = st.Repository()
+		fmt.Printf("repository %s: %d past sessions\n", *repoDir, len(repo.Sessions))
+	}
+
+	tn, err := repro.NewTuner(*tuner, repro.TunerOptions{Seed: *seed, Repo: repo, TargetName: target.Name()})
 	if err != nil {
 		fatal(err)
+	}
+	if *warmStart {
+		bt, ok := tn.(tune.BatchTuner)
+		if !ok {
+			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot warm-start", *tuner))
+		}
+		seeds := tune.WarmConfigs(repo, *system, features, target.Space(), repro.WarmSeeds)
+		tn = tune.WarmStartTuner(bt, seeds)
+		fmt.Printf("warm start: %d configurations transferred from the nearest past workload\n", len(seeds))
 	}
 	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo})
 	budget := tune.Budget{Trials: *trials}
@@ -109,6 +145,13 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if st != nil && len(res.Trials) > 0 {
+		id, err := st.Append(tune.NewSessionRecord(*system, *wl, features, res))
+		if err != nil {
+			fatal(fmt.Errorf("archiving session: %w", err))
+		}
+		fmt.Printf("archived session as repository id %d\n", id)
 	}
 
 	best := res.BestResult

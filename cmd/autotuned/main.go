@@ -5,6 +5,12 @@
 // Usage:
 //
 //	autotuned -addr :8080 -workers 4
+//	autotuned -addr :8080 -repo /var/lib/autotuned   # durable repository
+//
+// With -repo the daemon archives every completed session into the named
+// directory, serves the corpus under /repository/sessions, survives
+// restarts with its history intact, and accepts "warm_start": true in a
+// spec to seed the new session from the nearest archived workload.
 //
 // Submit, watch, inspect, and stop a session:
 //
@@ -35,12 +41,18 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "max concurrently running sessions (0 = all cores)")
 		memo    = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
+		repoDir = flag.String("repo", "", "durable tuning-repository directory (archives completed sessions; enables warm_start)")
 	)
 	flag.Parse()
 
+	d, err := daemon.New(daemon.Options{Workers: *workers, Memo: *memo, RepoDir: *repoDir})
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: daemon.New(daemon.Options{Workers: *workers, Memo: *memo}).Handler(),
+		Handler: d.Handler(),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

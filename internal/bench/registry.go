@@ -54,6 +54,11 @@ var registry = map[string]Experiment{
 		Doc: "streaming micro-batch latency: static vs adaptive configurations",
 		Run: Realtime,
 	},
+	"transfer": {
+		Name: "transfer", Paper: "§2.5 repository reuse (OtterTune lesson)",
+		Doc: "cold vs warm start from the persistent repository on an unseen workload",
+		Run: Transfer,
+	},
 }
 
 // Experiments lists registered experiment names, sorted.

@@ -17,6 +17,17 @@
 //	                              cancellation error); delete a finished
 //	                              one, releasing its event log
 //	GET    /healthz               liveness probe
+//
+// With a repository directory (Options.RepoDir) the daemon is restartable
+// state, not a stateless toy: every completed session is archived durably,
+// archived history survives restarts, a spec with "warm_start": true seeds
+// its tuner from the mapped nearest past workload, and the corpus is
+// servable:
+//
+//	GET    /repository/sessions       list archived session summaries
+//	GET    /repository/sessions/{id}  one full archived record
+//	POST   /repository/sessions       archive a tune.SessionRecord directly
+//	DELETE /repository/sessions/{id}  remove an archived record
 package daemon
 
 import (
@@ -24,11 +35,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	repro "repro"
 	"repro/internal/tune"
+	"repro/internal/tune/store"
 )
 
 // Options configures the daemon.
@@ -37,11 +50,16 @@ type Options struct {
 	Workers int
 	// Memo enables the engine's config-keyed result memo cache.
 	Memo bool
+	// RepoDir, when set, is the directory of the durable tuning repository
+	// (internal/tune/store layout). Completed sessions are archived there
+	// and warm-started sessions transfer from it.
+	RepoDir string
 }
 
-// Server owns the engine and the session table.
+// Server owns the engine, the session table, and the durable repository.
 type Server struct {
-	eng *repro.Engine
+	eng  *repro.Engine
+	repo store.Store // nil without a RepoDir
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -54,14 +72,37 @@ type session struct {
 	Spec    repro.Spec
 	Run     *repro.Run
 	Created time.Time
+
+	mu         sync.Mutex
+	archiveID  int64 // repository id once archived
+	archiveErr error
 }
 
-// New returns a daemon server scheduling sessions on its own engine.
-func New(o Options) *Server {
-	return &Server{
+// New returns a daemon server scheduling sessions on its own engine. With a
+// RepoDir it opens (or initializes) the durable repository there, recovering
+// state from previous daemon lifetimes.
+func New(o Options) (*Server, error) {
+	s := &Server{
 		eng:      repro.NewEngine(repro.EngineOptions{Workers: o.Workers, Cache: o.Memo}),
 		sessions: map[string]*session{},
 	}
+	if o.RepoDir != "" {
+		st, err := store.Open(o.RepoDir)
+		if err != nil {
+			return nil, err
+		}
+		s.repo = st
+	}
+	return s, nil
+}
+
+// Close releases the repository store (if any). Live sessions keep running;
+// their archive attempts will fail onto the session record.
+func (s *Server) Close() error {
+	if s.repo != nil {
+		return s.repo.Close()
+	}
+	return nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -77,6 +118,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{id}/pause", s.pause)
 	mux.HandleFunc("POST /sessions/{id}/resume", s.resume)
 	mux.HandleFunc("DELETE /sessions/{id}", s.stop)
+	mux.HandleFunc("GET /repository/sessions", s.repoList)
+	mux.HandleFunc("POST /repository/sessions", s.repoAdd)
+	mux.HandleFunc("GET /repository/sessions/{id}", s.repoGet)
+	mux.HandleFunc("DELETE /repository/sessions/{id}", s.repoDelete)
 	return mux
 }
 
@@ -111,21 +156,43 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
 		return
 	}
-	// The session outlives the HTTP request by design; its lifetime is
-	// managed through DELETE, not the request context.
-	run, err := repro.StartOn(context.Background(), s.eng, spec)
+	if spec.Repository != "" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("the daemon owns its repository (start it with -repo); submit warm_start without a repository path"))
+		return
+	}
+	if spec.WarmStart && s.repo == nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("warm_start requires the daemon to have a repository (start it with -repo)"))
+		return
+	}
+	sess := &session{Created: time.Now()}
+	var repo *repro.Repository
+	var archive func(repro.SessionRecord)
+	if s.repo != nil {
+		// The corpus is snapshotted at submission: history archived while
+		// this session runs does not retroactively change its transfer.
+		repo = s.repo.Repository()
+		archive = func(rec repro.SessionRecord) {
+			id, err := s.repo.Append(rec)
+			sess.mu.Lock()
+			sess.archiveID, sess.archiveErr = id, err
+			sess.mu.Unlock()
+		}
+	}
+	job, err := spec.JobWith(repo, archive)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The session outlives the HTTP request by design; its lifetime is
+	// managed through DELETE, not the request context.
+	run := s.eng.SubmitContext(context.Background(), job)
 	s.mu.Lock()
 	s.nextID++
-	sess := &session{
-		ID:      fmt.Sprintf("s%d", s.nextID),
-		Spec:    spec,
-		Run:     run,
-		Created: time.Now(),
-	}
+	sess.ID = fmt.Sprintf("s%d", s.nextID)
+	sess.Spec = spec
+	sess.Run = run
 	s.sessions[sess.ID] = sess
 	s.order = append(s.order, sess.ID)
 	s.mu.Unlock()
@@ -149,6 +216,11 @@ type status struct {
 	Incumbent  *incumbent          `json:"incumbent,omitempty"`
 	Result     *repro.TuningResult `json:"result,omitempty"`
 	Error      string              `json:"error,omitempty"`
+	// ArchivedAs is the repository id the finished session was archived
+	// under (zero until archived or when the daemon has no repository).
+	ArchivedAs int64 `json:"archived_as,omitempty"`
+	// ArchiveError reports a failed archive attempt.
+	ArchiveError string `json:"archive_error,omitempty"`
 }
 
 type incumbent struct {
@@ -177,6 +249,12 @@ func (sess *session) status() status {
 			st.Error = err.Error()
 		}
 	}
+	sess.mu.Lock()
+	st.ArchivedAs = sess.archiveID
+	if sess.archiveErr != nil {
+		st.ArchiveError = sess.archiveErr.Error()
+	}
+	sess.mu.Unlock()
 	return st
 }
 
@@ -279,4 +357,128 @@ func (s *Server) stop(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.Run.Stop()
 	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": string(sess.Run.State())})
+}
+
+// —— repository endpoints ——————————————————————————————————————————————————
+
+// repoSummary is the wire form of one archived session in listings.
+type repoSummary struct {
+	ID       int64  `json:"id"`
+	System   string `json:"system"`
+	Workload string `json:"workload"`
+	Trials   int    `json:"trials"`
+	// BestTime is the best non-failed trial's objective (0 if none).
+	BestTime float64 `json:"best_time,omitempty"`
+}
+
+func summarize(st store.Stored) repoSummary {
+	sum := repoSummary{
+		ID:       st.ID,
+		System:   st.Record.System,
+		Workload: st.Record.Workload,
+		Trials:   len(st.Record.Trials),
+	}
+	if at := st.Record.BestTrial(); at >= 0 {
+		sum.BestTime = st.Record.Trials[at].Time
+	}
+	return sum
+}
+
+// needRepo 404s repository routes on a daemon started without -repo.
+func (s *Server) needRepo(w http.ResponseWriter) bool {
+	if s.repo == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("this daemon has no repository (start it with -repo <dir>)"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) repoID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("repository ids are numeric: %w", err))
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) repoList(w http.ResponseWriter, r *http.Request) {
+	if !s.needRepo(w) {
+		return
+	}
+	sessions := s.repo.Sessions()
+	out := make([]repoSummary, len(sessions))
+	for i, st := range sessions {
+		out[i] = summarize(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) repoGet(w http.ResponseWriter, r *http.Request) {
+	if !s.needRepo(w) {
+		return
+	}
+	id, ok := s.repoID(w, r)
+	if !ok {
+		return
+	}
+	st, ok := s.repo.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no repository session %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// repoAdd archives a session record submitted directly — the import path
+// for history gathered elsewhere (another daemon, a CLI run, a migration).
+// It accepts both a bare tune.SessionRecord and the {"id", "record"} wire
+// form that GET /repository/sessions/{id} serves, so archived history
+// pipes between daemons verbatim (the id is reassigned by this store).
+func (s *Server) repoAdd(w http.ResponseWriter, r *http.Request) {
+	if !s.needRepo(w) {
+		return
+	}
+	var in struct {
+		tune.SessionRecord
+		ID     *int64              `json:"id"`
+		Record *tune.SessionRecord `json:"record"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session record: %w", err))
+		return
+	}
+	rec := in.SessionRecord
+	if in.Record != nil {
+		rec = *in.Record
+	}
+	if rec.System == "" || len(rec.Trials) == 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("a session record needs a system and at least one trial"))
+		return
+	}
+	id, err := s.repo.Append(rec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "url": fmt.Sprintf("/repository/sessions/%d", id)})
+}
+
+func (s *Server) repoDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.needRepo(w) {
+		return
+	}
+	id, ok := s.repoID(w, r)
+	if !ok {
+		return
+	}
+	if err := s.repo.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": "removed"})
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,10 +14,23 @@ import (
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
-	t.Cleanup(ts.Close)
+	ts, _ := newTestServerWith(t, Options{Workers: 2})
 	return ts
+}
+
+// newTestServerWith returns both handles: tests that restart a daemon on a
+// shared repository directory must Close the first Server (releasing its
+// store's process lock) before opening the next.
+func newTestServerWith(t *testing.T, o Options) (*httptest.Server, *Server) {
+	t.Helper()
+	srv, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
 }
 
 func postSpec(t *testing.T, ts *httptest.Server, spec string) (id string, code int, body map[string]any) {
@@ -341,5 +356,265 @@ func TestDaemonHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+// waitDone polls a session until it reaches a terminal state and returns
+// its final status body.
+func waitDone(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, _ := st["state"].(string); s == "done" || s == "failed" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never finished: %v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func bestTime(t *testing.T, st map[string]any) float64 {
+	t.Helper()
+	res, _ := st["result"].(map[string]any)
+	br, _ := res["best_result"].(map[string]any)
+	v, ok := br["time"].(float64)
+	if !ok {
+		t.Fatalf("no best_result.time in %v", st)
+	}
+	return v
+}
+
+// TestDaemonRepositoryWarmStartAcrossRestart is the repository acceptance
+// flow: archive two sessions, restart the daemon on the same directory,
+// verify the archived history is served again, then run a cold and a
+// warm-started session on an unseen workload over HTTP and assert the warm
+// one beats the cold incumbent at equal trial budget.
+func TestDaemonRepositoryWarmStartAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, srv := newTestServerWith(t, Options{Workers: 2, RepoDir: dir})
+
+	// Two past sessions: the history a long-lived daemon accumulates.
+	for _, spec := range []string{
+		`{"system": "spark", "workload": "kmeans", "tuner": "ituned",
+		  "seed": 43, "budget": {"trials": 30}}`,
+		`{"system": "spark", "workload": "terasort", "tuner": "ituned",
+		  "seed": 44, "budget": {"trials": 30}}`,
+	} {
+		id, code, body := postSpec(t, ts, spec)
+		if code != http.StatusCreated {
+			t.Fatalf("POST = %d, %v", code, body)
+		}
+		st := waitDone(t, ts, id)
+		if st["state"] != "done" {
+			t.Fatalf("history session failed: %v", st)
+		}
+		if _, ok := st["archived_as"].(float64); !ok {
+			t.Fatalf("finished session not archived: %v", st)
+		}
+	}
+
+	listRepo := func(srv *httptest.Server) []map[string]any {
+		resp, err := http.Get(srv.URL + "/repository/sessions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var listing struct {
+			Sessions []map[string]any `json:"sessions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		return listing.Sessions
+	}
+	if got := listRepo(ts); len(got) != 2 {
+		t.Fatalf("repository lists %d sessions, want 2", len(got))
+	}
+	ts.Close()
+	srv.Close() // first daemon lifetime ends, releasing the store lock
+
+	// Restart: a fresh server on the same directory replays the archive.
+	ts2, _ := newTestServerWith(t, Options{Workers: 2, RepoDir: dir})
+	archived := listRepo(ts2)
+	if len(archived) != 2 {
+		t.Fatalf("restarted daemon lists %d archived sessions, want 2", len(archived))
+	}
+	for _, s := range archived {
+		if s["system"] != "spark" || s["trials"].(float64) != 30 {
+			t.Errorf("archived summary wrong: %v", s)
+		}
+	}
+	// The full record is servable by id.
+	firstID := int(archived[0]["id"].(float64))
+	resp, err := http.Get(fmt.Sprintf("%s/repository/sessions/%d", ts2.URL, firstID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full struct {
+		Record struct {
+			Workload string           `json:"workload"`
+			Trials   []map[string]any `json:"trials"`
+		} `json:"record"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&full)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Record.Workload != "kmeans" || len(full.Record.Trials) != 30 {
+		t.Errorf("archived record wrong: %s with %d trials", full.Record.Workload, len(full.Record.Trials))
+	}
+
+	// Cold vs warm on the unseen workload, equal budget and seed.
+	cold := `{"system": "spark", "workload": "pagerank", "tuner": "ituned",
+	          "seed": 42, "budget": {"trials": 25}}`
+	warm := `{"system": "spark", "workload": "pagerank", "tuner": "ituned",
+	          "seed": 42, "budget": {"trials": 25}, "warm_start": true}`
+	coldID, code, _ := postSpec(t, ts2, cold)
+	if code != http.StatusCreated {
+		t.Fatalf("cold POST = %d", code)
+	}
+	warmID, code, _ := postSpec(t, ts2, warm)
+	if code != http.StatusCreated {
+		t.Fatalf("warm POST = %d", code)
+	}
+	coldSt, warmSt := waitDone(t, ts2, coldID), waitDone(t, ts2, warmID)
+	coldBest, warmBest := bestTime(t, coldSt), bestTime(t, warmSt)
+	if warmBest >= coldBest {
+		t.Errorf("warm start (%v) should beat the cold incumbent (%v) at equal budget", warmBest, coldBest)
+	}
+	// Both finished sessions were archived too: history keeps accumulating.
+	if got := listRepo(ts2); len(got) != 4 {
+		t.Errorf("repository lists %d sessions after the two new runs, want 4", len(got))
+	}
+}
+
+// TestDaemonRepositoryGuards: warm_start needs a repository, specs may not
+// name their own repository path, and repository routes 404 without -repo.
+func TestDaemonRepositoryGuards(t *testing.T) {
+	ts := newTestServer(t) // no RepoDir
+	_, code, body := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "ituned",
+		"seed": 1, "budget": {"trials": 2}, "warm_start": true}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("warm_start without repository = %d, want 400 (%v)", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/repository/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /repository/sessions without -repo = %d, want 404", resp.StatusCode)
+	}
+
+	ts2, _ := newTestServerWith(t, Options{Workers: 1, RepoDir: t.TempDir()})
+	_, code, body = postSpec(t, ts2, `{
+		"system": "dbms", "workload": "tpch", "tuner": "ituned",
+		"seed": 1, "budget": {"trials": 2}, "repository": "/elsewhere"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("spec with repository path = %d, want 400 (%v)", code, body)
+	}
+	// Warm-start on a tuner with no ask/tell form is a descriptive 400.
+	_, code, body = postSpec(t, ts2, `{
+		"system": "dbms", "workload": "tpch", "tuner": "rrs",
+		"seed": 1, "budget": {"trials": 2}, "warm_start": true}`)
+	if code != http.StatusBadRequest || !strings.Contains(fmt.Sprint(body["error"]), "ask/tell") {
+		t.Errorf("warm_start on rrs = %d %v, want 400 about ask/tell", code, body)
+	}
+}
+
+// TestDaemonRepositoryImportAndDelete: records can be archived directly
+// over HTTP, warm-starting transfers from them, and DELETE removes them.
+func TestDaemonRepositoryImportAndDelete(t *testing.T) {
+	ts, _ := newTestServerWith(t, Options{Workers: 1, RepoDir: t.TempDir()})
+	// Import a record (the migration path).
+	rec := `{"system": "dbms", "workload": "tpch", "param_names": ["x"],
+	         "trials": [{"vector": [0.5], "time": 10}]}`
+	resp, err := http.Post(ts.URL+"/repository/sessions", "application/json", strings.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("import = %d %v", resp.StatusCode, created)
+	}
+	id := int(created["id"].(float64))
+
+	// The served wire form pipes back in verbatim: GET a record and POST
+	// it to the same daemon (the daemon-to-daemon migration path). The id
+	// is reassigned.
+	gresp, err := http.Get(fmt.Sprintf("%s/repository/sessions/%d", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reimport, err := http.Post(ts.URL+"/repository/sessions", "application/json", bytes.NewReader(served))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re map[string]any
+	err = json.NewDecoder(reimport.Body).Decode(&re)
+	reimport.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reimport.StatusCode != http.StatusCreated {
+		t.Fatalf("re-import of served record = %d %v", reimport.StatusCode, re)
+	}
+	if reID := int(re["id"].(float64)); reID == id {
+		t.Errorf("re-import kept the old id %d; ids must be store-assigned", reID)
+	}
+
+	// Invalid imports get descriptive 400s.
+	for _, bad := range []string{`{not json`, `{"system": "", "trials": []}`} {
+		r2, err := http.Post(ts.URL+"/repository/sessions", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusBadRequest {
+			t.Errorf("import %q = %d, want 400", bad, r2.StatusCode)
+		}
+	}
+
+	del := func(path string) int {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r.StatusCode
+	}
+	if code := del(fmt.Sprintf("/repository/sessions/%d", id)); code != http.StatusOK {
+		t.Fatalf("DELETE = %d", code)
+	}
+	if code := del(fmt.Sprintf("/repository/sessions/%d", id)); code != http.StatusNotFound {
+		t.Errorf("second DELETE = %d, want 404", code)
+	}
+	if code := del("/repository/sessions/bogus"); code != http.StatusNotFound {
+		t.Errorf("DELETE non-numeric id = %d, want 404", code)
 	}
 }

@@ -105,7 +105,23 @@ func (r *Run) run(e *Engine, record bool) {
 		ctx = tune.WithMonitor(ctx, &tune.Monitor{OnEvent: r.observe, Gate: r.gate})
 	}
 	res, err := sub.Tune(ctx, r.job.Target, r.job.Tuner, r.job.Budget)
+	r.archive(res, err)
 	r.finish(res, err)
+}
+
+// archive hands a successful run's session record to the job's Archive
+// callback. It runs on the run goroutine before finish, so the record is
+// handed off before Wait returns or SessionDone is emitted.
+func (r *Run) archive(res *tune.TuningResult, err error) {
+	if r.job.Archive == nil || err != nil || res == nil || len(res.Trials) == 0 {
+		return
+	}
+	system, workload := r.job.names()
+	var features map[string]float64
+	if d, ok := r.job.Target.(tune.Describer); ok {
+		features = d.WorkloadFeatures()
+	}
+	r.job.Archive(tune.NewSessionRecord(system, workload, features, res))
 }
 
 // acquireSlot claims one of the engine's scheduler slots, giving up if

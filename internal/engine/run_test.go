@@ -297,3 +297,62 @@ func TestSubmitContextCancellation(t *testing.T) {
 		t.Fatalf("Wait error = %v, want context.Canceled", err)
 	}
 }
+
+// TestRunArchivesOnSuccess: a job with an Archive callback hands off the
+// completed session record — named, featured, and with every trial — before
+// Wait returns; failed runs archive nothing.
+func TestRunArchivesOnSuccess(t *testing.T) {
+	var got []tune.SessionRecord
+	job := Job{
+		Name:    "archived",
+		Tuner:   &experiment.Random{Seed: 5},
+		Target:  dbmsTarget(5),
+		Budget:  tune.Budget{Trials: 4},
+		Archive: func(rec tune.SessionRecord) { got = append(got, rec) },
+	}
+	run := New(Options{Workers: 1}).Submit(job)
+	res, err := run.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("archived %d records, want 1", len(got))
+	}
+	rec := got[0]
+	if rec.System != "dbms" || rec.Workload != "tpch" {
+		t.Errorf("derived naming = %s/%s", rec.System, rec.Workload)
+	}
+	if len(rec.Trials) != len(res.Trials) {
+		t.Errorf("archived %d trials, result had %d", len(rec.Trials), len(res.Trials))
+	}
+	if len(rec.Features) == 0 {
+		t.Error("workload features not captured")
+	}
+	if len(rec.ParamNames) != dbmsTarget(5).Space().Dim() {
+		t.Errorf("param names = %v", rec.ParamNames)
+	}
+
+	// Explicit naming wins over derivation.
+	named := job
+	named.System, named.Workload = "sys", "wl"
+	named.Target = dbmsTarget(6)
+	run2 := New(Options{Workers: 1}).Submit(named)
+	if _, err := run2.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	if last := got[len(got)-1]; last.System != "sys" || last.Workload != "wl" {
+		t.Errorf("explicit naming ignored: %s/%s", last.System, last.Workload)
+	}
+
+	// A cancelled run must not archive.
+	before := len(got)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run3 := New(Options{Workers: 1}).SubmitContext(ctx, job)
+	if _, err := run3.Wait(nil); err == nil {
+		t.Fatal("cancelled run should error")
+	}
+	if len(got) != before {
+		t.Error("cancelled run archived a record")
+	}
+}

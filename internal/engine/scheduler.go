@@ -22,6 +22,40 @@ type Job struct {
 	// Memo opts this job into the config-keyed result memo cache even
 	// when the engine's cache is off.
 	Memo bool
+	// System and Workload name the target for repository archival. When
+	// either is empty it is derived from Target.Name() ("dbms/tpch" →
+	// system "dbms", workload "tpch").
+	System, Workload string
+	// Archive, when non-nil, receives the finished session's record after
+	// a successful run, before the run is marked done — Wait returning
+	// means the record has been handed off. Failed or cancelled runs are
+	// not archived. The callback owns durability and error handling.
+	Archive func(tune.SessionRecord)
+}
+
+// names returns the job's repository system/workload naming, deriving
+// missing parts from the target name.
+func (j Job) names() (system, workload string) {
+	system, workload = j.System, j.Workload
+	if system != "" && workload != "" {
+		return system, workload
+	}
+	name := j.Target.Name()
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			if system == "" {
+				system = name[:i]
+			}
+			if workload == "" {
+				workload = name[i+1:]
+			}
+			return system, workload
+		}
+	}
+	if system == "" {
+		system = name
+	}
+	return system, workload
 }
 
 // JobResult pairs a job with its outcome.

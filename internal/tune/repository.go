@@ -50,8 +50,9 @@ type Repository struct {
 // Add appends a session record.
 func (r *Repository) Add(rec SessionRecord) { r.Sessions = append(r.Sessions, rec) }
 
-// AddResult converts a finished tuning result into a session record.
-func (r *Repository) AddResult(system, workload string, features map[string]float64, tr *TuningResult) {
+// NewSessionRecord converts a finished tuning result into the serializable
+// session record archived in repositories.
+func NewSessionRecord(system, workload string, features map[string]float64, tr *TuningResult) SessionRecord {
 	rec := SessionRecord{System: system, Workload: workload, Features: features}
 	if len(tr.Trials) > 0 {
 		rec.ParamNames = tr.Trials[0].Config.Space().Names()
@@ -64,7 +65,12 @@ func (r *Repository) AddResult(system, workload string, features map[string]floa
 			Metrics: t.Result.Metrics,
 		})
 	}
-	r.Add(rec)
+	return rec
+}
+
+// AddResult converts a finished tuning result into a session record.
+func (r *Repository) AddResult(system, workload string, features map[string]float64, tr *TuningResult) {
+	r.Add(NewSessionRecord(system, workload, features, tr))
 }
 
 // ForSystem returns the sessions recorded against the named system.

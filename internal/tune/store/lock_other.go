@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no inter-process exclusion (flock is unavailable
+// in the stdlib there); single-process correctness is unaffected.
+func acquireDirLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}

@@ -1,0 +1,40 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// acquireDirLock takes an exclusive flock on path, retrying briefly so
+// short-lived holders (a concurrent session loading or archiving) resolve,
+// while a long-lived holder (another daemon) fails with a clear error
+// instead of blocking forever. The lock lives as long as the returned file
+// handle (the kernel drops it on process exit), so a crashed owner never
+// leaves a stale lock behind.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	var lockErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if lockErr = syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); lockErr == nil {
+			return f, nil
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	f.Close()
+	return nil, fmt.Errorf("store: repository %s is locked by another process: %w", path, lockErr)
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

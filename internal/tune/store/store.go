@@ -1,0 +1,420 @@
+// Package store persists the tuning repository across daemon restarts: a
+// durable, crash-safe Store of tune.SessionRecord entries backed by an
+// append-only JSONL write-ahead log plus a snapshot file.
+//
+// Layout inside the store directory:
+//
+//	snapshot.json  the compacted state {next_id, sessions}; always written
+//	               whole via rename, so it is either absent or valid
+//	wal.jsonl      one JSON entry per line appended since the snapshot:
+//	               {"op":"add","id":N,"record":{...}} or {"op":"del","id":N}
+//
+// Every Append and Delete fsyncs the log before returning, so an
+// acknowledged record survives a crash. Loading replays the snapshot and
+// then the log; a torn tail (a final line missing its newline or cut
+// mid-JSON by a crash) is truncated away, recovering every complete record.
+// When the log grows past CompactEvery entries it is folded into a fresh
+// snapshot and truncated.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// Stored is one archived session with its stable id.
+type Stored struct {
+	ID     int64              `json:"id"`
+	Record tune.SessionRecord `json:"record"`
+}
+
+// Store is a durable corpus of past tuning sessions. Implementations are
+// safe for concurrent use.
+type Store interface {
+	// Sessions returns the live records in insertion order.
+	Sessions() []Stored
+	// Get returns the record with the given id.
+	Get(id int64) (Stored, bool)
+	// Repository snapshots the live records into a tune.Repository.
+	Repository() *tune.Repository
+	// Append durably archives rec and returns its assigned id.
+	Append(rec tune.SessionRecord) (int64, error)
+	// Delete durably removes the record with the given id.
+	Delete(id int64) error
+	// Compact folds the log into the snapshot and truncates it.
+	Compact() error
+	// Close releases the store's file handles. The store stays loadable.
+	Close() error
+}
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.jsonl"
+	lockFile     = ".lock"
+)
+
+// DefaultCompactEvery is the log length that triggers automatic compaction.
+const DefaultCompactEvery = 128
+
+// logEntry is one WAL line.
+type logEntry struct {
+	Op     string              `json:"op"` // "add" or "del"
+	ID     int64               `json:"id"`
+	Record *tune.SessionRecord `json:"record,omitempty"`
+}
+
+// snapshot is the on-disk form of the compacted state.
+type snapshot struct {
+	NextID   int64    `json:"next_id"`
+	Sessions []Stored `json:"sessions"`
+}
+
+// FileStore is the file-backed Store.
+type FileStore struct {
+	dir string
+
+	// CompactEvery is the number of WAL entries that triggers automatic
+	// compaction on the next mutation (default DefaultCompactEvery; set it
+	// right after Open, before concurrent use).
+	CompactEvery int
+
+	mu      sync.Mutex
+	wal     *os.File
+	lock    *os.File // held flock guarding the directory against other processes
+	nextID  int64
+	order   []int64
+	records map[int64]tune.SessionRecord
+	walLen  int // entries in the WAL since the last snapshot
+	closed  bool
+}
+
+func (s *FileStore) path(name string) string { return filepath.Join(s.dir, name) }
+
+// Open loads (or initializes) the store rooted at dir, recovering from any
+// torn WAL tail left by a crash.
+func Open(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &FileStore{
+		dir:          dir,
+		CompactEvery: DefaultCompactEvery,
+		nextID:       1,
+		records:      map[int64]tune.SessionRecord{},
+	}
+	// One process owns a store directory at a time: two daemons appending
+	// to the same WAL would hand out duplicate ids and each compaction
+	// would discard the other's appends. The lock is advisory and released
+	// by the kernel on process exit, so a crashed owner never wedges the
+	// directory.
+	lock, err := acquireDirLock(s.path(lockFile))
+	if err != nil {
+		return nil, err
+	}
+	s.lock = lock
+	fail := func(err error) (*FileStore, error) {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return fail(err)
+	}
+	if err := s.replayWAL(); err != nil {
+		return fail(err)
+	}
+	wal, err := os.OpenFile(s.path(walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("store: opening WAL: %w", err))
+	}
+	s.wal = wal
+	// A WAL past the compaction threshold (e.g. the previous owner's
+	// snapshot writes kept failing) is folded now rather than re-replayed
+	// on every future open; best-effort like any auto-compaction.
+	s.maybeCompactLocked()
+	return s, nil
+}
+
+func (s *FileStore) loadSnapshot() error {
+	data, err := os.ReadFile(s.path(snapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	// The snapshot is written atomically (rename), so a decode failure is
+	// corruption worth surfacing, not a crash artifact to skip.
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: snapshot %s is corrupt: %w", s.path(snapshotFile), err)
+	}
+	for _, st := range snap.Sessions {
+		s.order = append(s.order, st.ID)
+		s.records[st.ID] = st.Record
+	}
+	if snap.NextID > s.nextID {
+		s.nextID = snap.NextID
+	}
+	return nil
+}
+
+// replayWAL applies every complete log entry and truncates a torn tail.
+func (s *FileStore) replayWAL() error {
+	data, err := os.ReadFile(s.path(walFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading WAL: %w", err)
+	}
+	good := 0 // byte offset past the last complete, decodable entry
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn: final line has no newline
+		}
+		line := data[off : off+nl]
+		var e logEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn: crash cut the line mid-JSON before the newline
+		}
+		s.apply(e)
+		s.walLen++
+		off += nl + 1
+		good = off
+	}
+	if good < len(data) {
+		if err := os.Truncate(s.path(walFile), int64(good)); err != nil {
+			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply mutates the in-memory state by one log entry.
+func (s *FileStore) apply(e logEntry) {
+	switch e.Op {
+	case "add":
+		if e.Record == nil {
+			return
+		}
+		if _, dup := s.records[e.ID]; !dup {
+			s.order = append(s.order, e.ID)
+		}
+		s.records[e.ID] = *e.Record
+		if e.ID >= s.nextID {
+			s.nextID = e.ID + 1
+		}
+	case "del":
+		if _, ok := s.records[e.ID]; !ok {
+			return
+		}
+		delete(s.records, e.ID)
+		for i, id := range s.order {
+			if id == e.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// appendEntry writes one WAL line and fsyncs it.
+func (s *FileStore) appendEntry(e logEntry) error {
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding log entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.wal.Write(line); err != nil {
+		return fmt.Errorf("store: appending to WAL: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: fsyncing WAL: %w", err)
+	}
+	s.walLen++
+	return nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(rec tune.SessionRecord) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	if err := s.appendEntry(logEntry{Op: "add", ID: id, Record: &rec}); err != nil {
+		return 0, err
+	}
+	s.nextID++
+	s.order = append(s.order, id)
+	s.records[id] = rec
+	s.maybeCompactLocked()
+	return id, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.records[id]; !ok {
+		return fmt.Errorf("store: no session %d", id)
+	}
+	if err := s.appendEntry(logEntry{Op: "del", ID: id}); err != nil {
+		return err
+	}
+	s.apply(logEntry{Op: "del", ID: id})
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id int64) (Stored, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[id]
+	return Stored{ID: id, Record: rec}, ok
+}
+
+// Sessions implements Store.
+func (s *FileStore) Sessions() []Stored {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stored, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, Stored{ID: id, Record: s.records[id]})
+	}
+	return out
+}
+
+// Repository implements Store.
+func (s *FileStore) Repository() *tune.Repository {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	repo := &tune.Repository{}
+	for _, id := range s.order {
+		repo.Add(s.records[id])
+	}
+	return repo
+}
+
+// Len returns the number of live records.
+func (s *FileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// maybeCompactLocked compacts when the WAL has grown past CompactEvery.
+// Compaction failure is not an error for the triggering mutation — the
+// mutation itself is already durable in the log; the oversized WAL will be
+// retried on the next mutation and folded at the latest on reopen.
+func (s *FileStore) maybeCompactLocked() {
+	if s.CompactEvery > 0 && s.walLen >= s.CompactEvery {
+		_ = s.compactLocked()
+	}
+}
+
+// Compact implements Store.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *FileStore) compactLocked() error {
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	snap := snapshot{NextID: s.nextID, Sessions: make([]Stored, 0, len(s.order))}
+	for _, id := range s.order {
+		snap.Sessions = append(snap.Sessions, Stored{ID: id, Record: s.records[id]})
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp := s.path(snapshotFile + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsyncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	// The rename is the commit point: the snapshot flips from old to new
+	// atomically, and only then is the already-folded WAL discarded.
+	if err := os.Rename(tmp, s.path(snapshotFile)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	s.syncDir()
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	}
+	// O_APPEND writes continue at the (now zero) end of file; reset our
+	// entry count so auto-compaction re-arms.
+	s.walLen = 0
+	return nil
+}
+
+// syncDir fsyncs the store directory so the snapshot rename is durable;
+// best-effort because not every platform supports directory fsync.
+func (s *FileStore) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.Close()
+	releaseDirLock(s.lock)
+	return err
+}
+
+// IDs returns the live ids in insertion order (primarily for tests).
+func (s *FileStore) IDs() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.order...)
+}
+
+var _ Store = (*FileStore)(nil)
+
+// SortedBySystem returns stored sessions grouped by system then workload —
+// a stable presentation order for listings (insertion order preserved
+// within a group).
+func SortedBySystem(sessions []Stored) []Stored {
+	out := append([]Stored(nil), sessions...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Record, out[j].Record
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		return a.Workload < b.Workload
+	})
+	return out
+}

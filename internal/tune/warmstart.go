@@ -1,0 +1,198 @@
+package tune
+
+import (
+	"context"
+	"math"
+	"sort"
+)
+
+// This file generalizes OtterTune's workload-mapping idea into the core so
+// any ask/tell tuner can warm-start from a repository of past sessions: map
+// the new workload to the nearest past one by normalized feature distance,
+// lift that session's best configurations into the new target's space, and
+// inject them as the first proposals of an otherwise-unchanged proposer.
+
+// NearestSession returns the index of the session whose feature map is
+// nearest features under normalized Euclidean distance, or -1 when sessions
+// is empty. Each feature key is scaled by the largest absolute value it
+// takes across the query and all candidates, so features spanning decades
+// (bytes vs ratios) weigh equally. Ties break toward the earliest session,
+// keeping the mapping deterministic.
+func NearestSession(sessions []SessionRecord, features map[string]float64) int {
+	if len(sessions) == 0 {
+		return -1
+	}
+	scale := map[string]float64{}
+	note := func(m map[string]float64) {
+		for k, v := range m {
+			if a := math.Abs(v); a > scale[k] {
+				scale[k] = a
+			}
+		}
+	}
+	note(features)
+	for _, s := range sessions {
+		note(s.Features)
+	}
+	keys := make([]string, 0, len(scale))
+	for k := range scale {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bestAt, bestD := -1, math.Inf(1)
+	for i, s := range sessions {
+		var d float64
+		for _, k := range keys {
+			sc := scale[k]
+			if sc == 0 {
+				continue
+			}
+			dd := (features[k] - s.Features[k]) / sc
+			d += dd * dd
+		}
+		if d < bestD {
+			bestD, bestAt = d, i
+		}
+	}
+	return bestAt
+}
+
+// TransferConfigs lifts the k best distinct non-failed trials of rec into
+// space, best first. Sessions recorded against a different space (parameter
+// names disagree) transfer nothing.
+func TransferConfigs(rec SessionRecord, space *Space, k int) []Config {
+	if k <= 0 || !sameNames(rec.ParamNames, space.Names()) {
+		return nil
+	}
+	order := make([]int, 0, len(rec.Trials))
+	for i, t := range rec.Trials {
+		if !t.Failed && len(t.Vector) == space.Dim() {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rec.Trials[order[a]].Time < rec.Trials[order[b]].Time
+	})
+	var out []Config
+	seen := map[string]struct{}{}
+	for _, i := range order {
+		cfg := space.FromVector(rec.Trials[i].Vector)
+		key := cfg.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, cfg)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WarmConfigs maps the target workload (described by features) to the
+// nearest past session of the same system in repo and returns that
+// session's k best configurations in space. It returns nil when the
+// repository holds nothing transferable — a warm start over an empty
+// repository degrades to a cold start, never to an error.
+func WarmConfigs(repo *Repository, system string, features map[string]float64, space *Space, k int) []Config {
+	if repo == nil {
+		return nil
+	}
+	sessions := repo.ForSystem(system)
+	// Prefer the nearest session that actually transfers; the nearest one
+	// may have been recorded against an incompatible space.
+	for len(sessions) > 0 {
+		at := NearestSession(sessions, features)
+		if at < 0 {
+			return nil
+		}
+		if cfgs := TransferConfigs(sessions[at], space, k); len(cfgs) > 0 {
+			return cfgs
+		}
+		sessions = append(sessions[:at:at], sessions[at+1:]...)
+	}
+	return nil
+}
+
+// WarmStarter wraps a Proposer so the transferred seed configurations are
+// proposed first; afterwards every ask is delegated to the inner proposer.
+// Observations — including those of the seeds — flow through to the inner
+// proposer, so a model-based tuner conditions on the transferred evidence
+// exactly as if it had proposed those points itself.
+type WarmStarter struct {
+	inner Proposer
+	seeds []Config
+}
+
+// NewWarmStarter returns p warm-started with seeds (which may be empty).
+func NewWarmStarter(p Proposer, seeds []Config) *WarmStarter {
+	return &WarmStarter{inner: p, seeds: append([]Config(nil), seeds...)}
+}
+
+// Propose implements Proposer.
+func (w *WarmStarter) Propose(n int) []Config {
+	if len(w.seeds) > 0 {
+		return ProposeFixed(&w.seeds, n)
+	}
+	return w.inner.Propose(n)
+}
+
+// Observe implements Proposer.
+func (w *WarmStarter) Observe(t Trial) { w.inner.Observe(t) }
+
+// Recommend implements Recommender when the inner proposer does; otherwise
+// it returns the invalid zero Config.
+func (w *WarmStarter) Recommend() Config {
+	if r, ok := w.inner.(Recommender); ok {
+		return r.Recommend()
+	}
+	return Config{}
+}
+
+// warmTuner is a BatchTuner whose proposers are warm-started with seeds.
+type warmTuner struct {
+	BatchTuner
+	seeds []Config
+}
+
+// WarmStartTuner wraps t so every session it starts proposes seeds first.
+// The wrapper preserves the ask/tell form, so the concurrent engine batches
+// the seed evaluations like any other proposals.
+func WarmStartTuner(t BatchTuner, seeds []Config) BatchTuner {
+	if len(seeds) == 0 {
+		return t
+	}
+	return &warmTuner{BatchTuner: t, seeds: seeds}
+}
+
+// NewProposer implements BatchTuner.
+func (t *warmTuner) NewProposer(target Target, b Budget) (Proposer, error) {
+	p, err := t.BatchTuner.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	return NewWarmStarter(p, t.seeds), nil
+}
+
+// Tune implements Tuner through the warm-started proposer so the blocking
+// path and the engine path stay identical.
+func (t *warmTuner) Tune(ctx context.Context, target Target, b Budget) (*TuningResult, error) {
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	return DriveProposer(ctx, t.Name(), target, b, p)
+}

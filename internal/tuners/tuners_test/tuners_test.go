@@ -5,13 +5,16 @@ package tuners_test
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 
+	repro "repro"
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/sysmodel/dbms"
 	"repro/internal/sysmodel/mapreduce"
 	"repro/internal/sysmodel/spark"
 	"repro/internal/tune"
+	"repro/internal/tune/store"
 	"repro/internal/tuners/adaptive"
 	"repro/internal/tuners/costmodel"
 	"repro/internal/tuners/experiment"
@@ -283,6 +286,147 @@ func TestTunersRespectContextCancellation(t *testing.T) {
 		r, err := tn.Tune(ctx, dbmsTarget(31), tune.Budget{Trials: 10})
 		if err == nil && len(r.Trials) > 0 {
 			t.Errorf("%s: ran %d trials after cancellation", tn.Name(), len(r.Trials))
+		}
+	}
+}
+
+// TestGoldenDeterminismCorpus is the table-driven determinism harness: every
+// registered tuner runs on dbms/tpch and spark/pagerank at -parallel 1 and
+// -parallel 4, and the session's entire marshaled event stream must be
+// byte-identical — the repo-wide guarantee that parallelism never changes
+// results, enforced for every tuner in one place instead of ad-hoc per-PR
+// checks. Tuners that reject a target (wrong system, no adaptive hooks)
+// must reject it identically at both parallelism levels.
+func TestGoldenDeterminismCorpus(t *testing.T) {
+	targets := []struct {
+		system, workload string
+		opts             repro.TargetOptions
+	}{
+		{"dbms", "tpch", repro.TargetOptions{ScaleGB: 2}},
+		{"spark", "pagerank", repro.TargetOptions{ScaleGB: 1}},
+	}
+	stream := func(spec repro.Spec, parallel int) ([]string, string) {
+		spec.Parallel = parallel
+		eng := repro.NewEngine(repro.EngineOptions{Workers: parallel})
+		run, err := repro.StartOn(context.Background(), eng, spec)
+		if err != nil {
+			return nil, err.Error()
+		}
+		var events []string
+		for ev := range run.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return nil, "marshal: " + err.Error()
+			}
+			events = append(events, string(data))
+		}
+		if _, err := run.Wait(nil); err != nil {
+			return events, err.Error()
+		}
+		return events, ""
+	}
+	for _, name := range repro.Tuners() {
+		for _, tc := range targets {
+			t.Run(name+"/"+tc.system, func(t *testing.T) {
+				spec := repro.Spec{
+					System: tc.system, Workload: tc.workload, Tuner: name,
+					Seed: 11, Budget: repro.Budget{Trials: 6}, Target: tc.opts,
+				}
+				if name == "scaled-proxy" {
+					spec.Proxy = &repro.ProxySpec{ScaleGB: 0.4}
+				}
+				seq, seqErr := stream(spec, 1)
+				par, parErr := stream(spec, 4)
+				if seqErr != parErr {
+					t.Fatalf("errors differ across parallelism:\n  p1: %s\n  p4: %s", seqErr, parErr)
+				}
+				if seqErr != "" {
+					return // rejected identically on both paths: that is the contract
+				}
+				if len(seq) == 0 {
+					t.Fatal("no events streamed")
+				}
+				if len(seq) != len(par) {
+					t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+				}
+				for i := range seq {
+					if seq[i] != par[i] {
+						t.Fatalf("event %d differs across parallelism:\n  p1: %s\n  p4: %s", i, seq[i], par[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenDeterminismWarmStart extends the corpus to the warm-start path:
+// a warm-started session over a persistent repository directory must also
+// be byte-identical at any parallelism (seeds are injected in proposal
+// order, so the transferred trials batch like any others).
+func TestGoldenDeterminismWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the repository with one past session.
+	hist := repro.Spec{
+		System: "spark", Workload: "kmeans", Tuner: "ituned",
+		Seed: 5, Budget: repro.Budget{Trials: 10}, Repository: dir,
+	}
+	run, err := repro.Start(context.Background(), hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the corpus: both comparison runs must transfer from identical
+	// history, and a Spec.Repository run would archive itself into the
+	// directory between them.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := st.Repository()
+	st.Close()
+	if len(repo.Sessions) != 1 {
+		t.Fatalf("repository has %d sessions, want the 1 archived by Start", len(repo.Sessions))
+	}
+
+	stream := func(parallel int) []string {
+		spec := repro.Spec{
+			System: "spark", Workload: "pagerank", Tuner: "ituned",
+			Seed: 11, Budget: repro.Budget{Trials: 10}, Target: repro.TargetOptions{ScaleGB: 1},
+			WarmStart: true, Parallel: parallel,
+		}
+		job, err := spec.JobWith(repo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := repro.NewEngine(repro.EngineOptions{Workers: parallel})
+		r := eng.Submit(job)
+		var events []string
+		for ev := range r.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, string(data))
+		}
+		if _, err := r.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	seq := stream(1)
+	par := stream(4)
+	if len(seq) == 0 {
+		t.Fatal("no events streamed")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("warm-start event %d differs across parallelism:\n  p1: %s\n  p4: %s", i, seq[i], par[i])
 		}
 	}
 }

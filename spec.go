@@ -3,10 +3,13 @@ package repro
 import (
 	"context"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/tune"
+	"repro/internal/tune/store"
 )
 
 // Spec declaratively describes one tuning session: which system/workload
@@ -37,7 +40,23 @@ type Spec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Memo enables the config-keyed result memo cache for this session.
 	Memo bool `json:"memo,omitempty"`
+	// Repository names a directory holding the durable tuning repository
+	// (internal/tune/store layout). Start and StartOn load past sessions
+	// from it — feeding repository-driven tuners and WarmStart — and
+	// archive the finished session back into it. The HTTP daemon rejects
+	// specs carrying this field: the daemon owns its own repository
+	// directory and clients opt into it with WarmStart alone.
+	Repository string `json:"repository,omitempty"`
+	// WarmStart seeds the session's proposer with the best configurations
+	// transferred from the mapped nearest past workload of the same system
+	// in the repository (see tune.WarmConfigs). It requires an ask/tell
+	// tuner; over an empty repository it degrades to a cold start.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
+
+// WarmSeeds is how many transferred configurations a warm-started session
+// proposes before its tuner takes over.
+const WarmSeeds = 3
 
 // ProxySpec describes the scaled-down replica used by the scaled-proxy
 // tuner: the spec's system and workload rebuilt at ScaleGB (and optionally
@@ -107,8 +126,18 @@ func (s Spec) Validate() error {
 }
 
 // Job materializes the spec: it validates, builds the target and tuner,
-// and returns the engine job describing the session.
-func (s Spec) Job() (Job, error) {
+// and returns the engine job describing the session. The Repository field
+// is not resolved here — store lifecycle belongs to Start/StartOn (or to a
+// caller passing a loaded corpus through JobWith).
+func (s Spec) Job() (Job, error) { return s.JobWith(nil, nil) }
+
+// JobWith materializes the spec against an explicit repository corpus: repo
+// (which may be nil) supplies past sessions to repository-driven tuners and
+// to WarmStart's transfer mapping, and archive (which may be nil) receives
+// the finished session's record after a successful run. Callers own the
+// corpus and the durability of archive — the daemon passes its store's
+// snapshot and append; Start wires a store from Spec.Repository.
+func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error) {
 	if err := s.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -116,7 +145,7 @@ func (s Spec) Job() (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
-	topt := TunerOptions{Seed: s.Seed, TargetName: target.Name()}
+	topt := TunerOptions{Seed: s.Seed, Repo: repo, TargetName: target.Name()}
 	if s.Proxy != nil {
 		po := s.Target
 		po.ScaleGB = s.Proxy.ScaleGB
@@ -135,6 +164,18 @@ func (s Spec) Job() (Job, error) {
 	if err != nil {
 		return Job{}, err
 	}
+	if s.WarmStart {
+		bt, ok := tuner.(tune.BatchTuner)
+		if !ok {
+			return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot warm-start", s.Tuner)
+		}
+		var features map[string]float64
+		if d, ok := target.(tune.Describer); ok {
+			features = d.WorkloadFeatures()
+		}
+		seeds := tune.WarmConfigs(repo, s.System, features, target.Space(), WarmSeeds)
+		tuner = tune.WarmStartTuner(bt, seeds)
+	}
 	return Job{
 		Name:     s.Name(),
 		Tuner:    tuner,
@@ -142,6 +183,9 @@ func (s Spec) Job() (Job, error) {
 		Budget:   s.Budget,
 		Parallel: s.Parallel,
 		Memo:     s.Memo,
+		System:   s.System,
+		Workload: s.Workload,
+		Archive:  archive,
 	}, nil
 }
 
@@ -164,8 +208,42 @@ func Start(ctx context.Context, spec Spec) (*Run, error) {
 
 // StartOn is Start on a caller-owned engine — the daemon uses it to bound
 // concurrent sessions with its own scheduler.
+//
+// When spec.Repository names a directory, the durable store there is loaded
+// at submission (its sessions feed repository-driven tuners and
+// warm-starting) and reopened briefly to archive a successful run's record
+// before the run reports done — the store is never held across the run, so
+// sequential sessions on one directory cannot collide on its process lock.
+// On this convenience path an append failure surfaces on stderr only;
+// callers that must observe archival errors should open the store
+// themselves and use JobWith.
 func StartOn(ctx context.Context, e *Engine, spec Spec) (*Run, error) {
-	job, err := spec.Job()
+	if spec.Repository == "" {
+		job, err := spec.Job()
+		if err != nil {
+			return nil, err
+		}
+		return e.SubmitContext(ctx, job), nil
+	}
+	st, err := store.Open(spec.Repository)
+	if err != nil {
+		return nil, err
+	}
+	repo := st.Repository()
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
+	job, err := spec.JobWith(repo, func(rec SessionRecord) {
+		st, err := store.Open(spec.Repository)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: archiving session: %v\n", err)
+			return
+		}
+		defer st.Close()
+		if _, err := st.Append(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: archiving session: %v\n", err)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/tune"
+	"repro/internal/tune/store"
 )
 
 // TestSpecJSONRoundTrip: a fully populated spec survives encoding/json
@@ -301,5 +302,103 @@ func TestRegistriesPlugInByName(t *testing.T) {
 	}
 	if err := RegisterTuner("", "", "", nil); err == nil {
 		t.Error("empty RegisterTuner should error")
+	}
+}
+
+// TestSpecRepositoryLifecycle drives the facade's durable-repository path:
+// Start with Spec.Repository archives the finished session into the
+// directory; a later warm-started session loads that history, transfers
+// seed configurations, and archives itself too.
+func TestSpecRepositoryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	run, err := Start(context.Background(), Spec{
+		System: "spark", Workload: "kmeans", Tuner: "ituned",
+		Seed: 3, Budget: Budget{Trials: 8}, Repository: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Sessions(); len(got) != 1 ||
+		got[0].Record.System != "spark" || got[0].Record.Workload != "kmeans" ||
+		len(got[0].Record.Trials) != 8 {
+		t.Fatalf("archived state wrong: %+v", got)
+	}
+	st.Close()
+
+	warm, err := Start(context.Background(), Spec{
+		System: "spark", Workload: "pagerank", Tuner: "ituned",
+		Seed: 4, Budget: Budget{Trials: 8}, Target: TargetOptions{ScaleGB: 1},
+		Repository: dir, WarmStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := warm.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first WarmSeeds trials are the transferred configurations: they
+	// must equal the best trials of the archived kmeans session.
+	st, err = store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sessions := st.Sessions()
+	if len(sessions) != 2 {
+		t.Fatalf("warm session not archived: %d records", len(sessions))
+	}
+	target, err := NewTarget("spark", "pagerank", 4, TargetOptions{ScaleGB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the corpus the warm session saw: only the kmeans record
+	// existed when it was submitted (its own archive came later).
+	histOnly := &Repository{}
+	histOnly.Add(sessions[0].Record)
+	seeds := tune.WarmConfigs(histOnly, "spark", nil, target.Space(), WarmSeeds)
+	// (nil features: with a single compatible session the mapping has one
+	// candidate regardless of features.)
+	if len(seeds) != WarmSeeds {
+		t.Fatalf("transferred %d seeds, want %d", len(seeds), WarmSeeds)
+	}
+	for i := 0; i < WarmSeeds; i++ {
+		if res.Trials[i].Config.String() != seeds[i].String() {
+			t.Errorf("trial %d is not transferred seed %d:\n  got  %s\n  want %s",
+				i+1, i, res.Trials[i].Config, seeds[i])
+		}
+	}
+}
+
+// TestSpecWarmStartRequiresAskTell: warm-starting a tuner with no proposer
+// form fails with a descriptive error at materialization.
+func TestSpecWarmStartRequiresAskTell(t *testing.T) {
+	_, err := Spec{
+		System: "dbms", Workload: "tpch", Tuner: "rrs",
+		Seed: 1, Budget: Budget{Trials: 2}, WarmStart: true,
+	}.Job()
+	if err == nil || !strings.Contains(err.Error(), "ask/tell") {
+		t.Fatalf("err = %v, want an ask/tell explanation", err)
+	}
+	// Without WarmStart the same tuner materializes fine.
+	if _, err := (Spec{
+		System: "dbms", Workload: "tpch", Tuner: "rrs",
+		Seed: 1, Budget: Budget{Trials: 2},
+	}).Job(); err != nil {
+		t.Fatalf("rrs without warm start: %v", err)
+	}
+	// Warm start over an empty corpus degrades to cold, not to an error.
+	if _, err := (Spec{
+		System: "dbms", Workload: "tpch", Tuner: "ituned",
+		Seed: 1, Budget: Budget{Trials: 2}, WarmStart: true,
+	}).Job(); err != nil {
+		t.Fatalf("warm start without history: %v", err)
 	}
 }
