@@ -57,6 +57,12 @@ type (
 	Proposer = tune.Proposer
 	// BatchTuner is a Tuner that also exposes ask/tell proposal.
 	BatchTuner = tune.BatchTuner
+	// FidelityTarget is a Target with a cheaper low-fidelity evaluation
+	// path (sampled workload, input fraction, trace prefix).
+	FidelityTarget = tune.FidelityTarget
+	// FidelitySpace is the geometric ladder of budget levels a
+	// multi-fidelity session evaluates trials at.
+	FidelitySpace = tune.FidelitySpace
 	// Job is one (target, tuner) session for TuneJobs and Engine.Submit.
 	Job = engine.Job
 	// JobResult pairs a Job with its outcome.
@@ -79,6 +85,7 @@ const (
 	TrialStarted      = tune.TrialStarted
 	TrialDone         = tune.TrialDone
 	IncumbentImproved = tune.IncumbentImproved
+	TrialPruned       = tune.TrialPruned
 	SessionDone       = tune.SessionDone
 )
 

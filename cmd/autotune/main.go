@@ -7,6 +7,7 @@
 //	autotune -system dbms -workload tpch -tuner ituned -parallel 4
 //	autotune -system dbms -workload tpch -tuner ituned -progress
 //	autotune -system dbms -workload mixed -tuner ituned -repo ./repo -warm-start
+//	autotune -system dbms -workload tpch -tuner ituned -fidelity hyperband
 //	autotune -list
 //
 // -parallel N evaluates proposed trial batches on N workers; results are
@@ -14,7 +15,9 @@
 // trial-count/incumbent line from the session's event stream. -repo names
 // a durable repository directory: past sessions load from it (feeding
 // repository-driven tuners and -warm-start's transfer) and this session is
-// archived back into it on success.
+// archived back into it on success. -fidelity runs the budget as
+// successive-halving/Hyperband brackets: many cheap low-fidelity screens,
+// full-cost runs only for the promoted survivors.
 package main
 
 import (
@@ -47,6 +50,9 @@ func main() {
 		progress  = flag.Bool("progress", false, "render a live trial/incumbent line from the event stream")
 		repoDir   = flag.String("repo", "", "durable tuning-repository directory (load history, archive this session)")
 		warmStart = flag.Bool("warm-start", false, "seed the tuner from the nearest past workload in -repo")
+		fidelity  = flag.String("fidelity", "", `multi-fidelity bracket strategy: "hyperband" or "halving" (off when empty)`)
+		fidMin    = flag.Float64("fidelity-min", 0, "lowest fidelity fraction evaluated (0 = default 1/9)")
+		fidEta    = flag.Float64("fidelity-eta", 0, "rung promotion ratio (0 = default 3)")
 	)
 	flag.Parse()
 
@@ -106,6 +112,20 @@ func main() {
 		tn = tune.WarmStartTuner(bt, seeds)
 		fmt.Printf("warm start: %d configurations transferred from the nearest past workload\n", len(seeds))
 	}
+	if *fidelity != "" {
+		bt, ok := tn.(tune.BatchTuner)
+		if !ok {
+			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot run a fidelity schedule", *tuner))
+		}
+		if _, ok := target.(tune.FidelityTarget); !ok {
+			fatal(fmt.Errorf("target %q has no fidelity-aware evaluation path", target.Name()))
+		}
+		mf, err := tune.NewMultiFidelity(bt, tune.FidelitySpace{Min: *fidMin, Eta: *fidEta}, *fidelity, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		tn = mf
+	}
 	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo})
 	budget := tune.Budget{Trials: *trials}
 	var res *repro.TuningResult
@@ -154,6 +174,18 @@ func main() {
 		fmt.Printf("archived session as repository id %d\n", id)
 	}
 
+	if *fidelity != "" {
+		full, partial := 0, 0
+		for _, t := range res.Trials {
+			if t.Result.FullFidelity() {
+				full++
+			} else {
+				partial++
+			}
+		}
+		fmt.Printf("fidelity schedule (%s): %d low-fidelity screens + %d full-fidelity runs\n",
+			*fidelity, partial, full)
+	}
 	best := res.BestResult
 	if len(res.Trials) == 0 {
 		best = target.Run(res.Best)

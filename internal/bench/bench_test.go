@@ -33,8 +33,8 @@ func TestTableRenderAndCSV(t *testing.T) {
 
 func TestRegistryListsAllExperiments(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(exps))
+	if len(exps) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(exps))
 	}
 	names := map[string]bool{}
 	for _, e := range exps {
@@ -43,7 +43,7 @@ func TestRegistryListsAllExperiments(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.Name)
 		}
 	}
-	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer"} {
+	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer", "fidelity"} {
 		if !names[want] {
 			t.Errorf("missing experiment %q", want)
 		}
@@ -152,6 +152,51 @@ func TestTransferWarmBeatsCold(t *testing.T) {
 		if wr == 0 || wr >= cr {
 			t.Errorf("%s: warm reached the cold incumbent at trial %d, cold at %d — transfer did not help",
 				cold[0], wr, cr)
+		}
+	}
+}
+
+// TestFidelityReachesIncumbentAtHalfCost pins the multi-fidelity
+// acceptance claim at the benchtab defaults (seed 42, budget 30):
+// Hyperband-iTuned reaches the full-fidelity run's final incumbent (within
+// the experiment's 10% parity tolerance) at no more than half the
+// evaluation cost the full-fidelity run spends in total — and the
+// comparison is meaningful because every variant records its full trial
+// budget.
+func TestFidelityReachesIncumbentAtHalfCost(t *testing.T) {
+	tb := Fidelity(Options{Seed: 42, Budget: 30})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "iTuned (full fidelity)" || tb.Rows[1][0] != "Hyperband-iTuned" {
+		t.Fatalf("row structure wrong: %v", tb.Rows)
+	}
+	ratio := func(row []string) float64 {
+		if row[7] == "—" {
+			return -1
+		}
+		var pct float64
+		fmt.Sscanf(row[7], "%f%%", &pct)
+		return pct / 100
+	}
+	hb := ratio(tb.Rows[1])
+	if hb < 0 {
+		t.Fatalf("Hyperband never reached the full-fidelity incumbent: %v", tb.Rows[1])
+	}
+	if hb > 0.5 {
+		t.Errorf("Hyperband reached the incumbent at %.0f%% of the full run's cost, want ≤ 50%%", 100*hb)
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "30" {
+			t.Errorf("%s recorded %s trials, want the full budget of 30", row[0], row[1])
+		}
+	}
+	// The multi-fidelity rows early-stopped real trials.
+	for _, row := range tb.Rows[1:] {
+		var pruned int
+		fmt.Sscanf(row[3], "%d", &pruned)
+		if pruned == 0 {
+			t.Errorf("%s pruned no trials", row[0])
 		}
 	}
 }

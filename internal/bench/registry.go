@@ -59,6 +59,11 @@ var registry = map[string]Experiment{
 		Doc: "cold vs warm start from the persistent repository on an unseen workload",
 		Run: Transfer,
 	},
+	"fidelity": {
+		Name: "fidelity", Paper: "§2.5 experiment cost (multi-fidelity allocation)",
+		Doc: "Hyperband/successive-halving vs full-fidelity tuning: incumbent quality vs evaluation cost",
+		Run: Fidelity,
+	},
 }
 
 // Experiments lists registered experiment names, sorted.

@@ -207,15 +207,20 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 
 // status is the wire form of one session's current state.
 type status struct {
-	ID         string              `json:"id"`
-	Name       string              `json:"name"`
-	Spec       repro.Spec          `json:"spec"`
-	State      repro.RunState      `json:"state"`
-	Created    time.Time           `json:"created"`
-	TrialsDone int                 `json:"trials_done"`
-	Incumbent  *incumbent          `json:"incumbent,omitempty"`
-	Result     *repro.TuningResult `json:"result,omitempty"`
-	Error      string              `json:"error,omitempty"`
+	ID         string         `json:"id"`
+	Name       string         `json:"name"`
+	Spec       repro.Spec     `json:"spec"`
+	State      repro.RunState `json:"state"`
+	Created    time.Time      `json:"created"`
+	TrialsDone int            `json:"trials_done"`
+	// TrialsPruned and RungsDecided report multi-fidelity progress: how
+	// many trials rung decisions early-stopped, over how many decisions
+	// (zero for single-fidelity sessions).
+	TrialsPruned int                 `json:"trials_pruned,omitempty"`
+	RungsDecided int                 `json:"rungs_decided,omitempty"`
+	Incumbent    *incumbent          `json:"incumbent,omitempty"`
+	Result       *repro.TuningResult `json:"result,omitempty"`
+	Error        string              `json:"error,omitempty"`
 	// ArchivedAs is the repository id the finished session was archived
 	// under (zero until archived or when the daemon has no repository).
 	ArchivedAs int64 `json:"archived_as,omitempty"`
@@ -239,6 +244,7 @@ func (sess *session) status() status {
 	}
 	trials, inc, ok := sess.Run.Progress()
 	st.TrialsDone = trials
+	st.TrialsPruned, st.RungsDecided = sess.Run.FidelityProgress()
 	if ok {
 		st.Incumbent = &incumbent{Trial: inc.Trial, Config: inc.Config.Map(), Result: inc.Result}
 	}

@@ -132,8 +132,9 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("replay has %d events, live had %d", len(replay), len(events))
 	}
 	for i := range events {
-		if !bytes.Equal(events[i].Data, replay[i].Data) {
-			t.Fatalf("replayed event %d differs", i)
+		if events[i].Name != replay[i].Name || !bytes.Equal(events[i].Data, replay[i].Data) {
+			t.Fatalf("replayed event %d differs: %s %s vs %s %s",
+				i, replay[i].Name, replay[i].Data, events[i].Name, events[i].Data)
 		}
 	}
 
@@ -174,6 +175,68 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if len(listing.Sessions) != 1 || listing.Sessions[0].ID != id {
 		t.Errorf("listing = %+v", listing)
+	}
+}
+
+// TestDaemonFidelitySessionReplayIsByteIdentical closes the gap the plain
+// end-to-end test left open: it asserted event counts and data on the
+// happy path only. Here a session containing pruned trials (a Hyperband
+// fidelity spec) streams live, then is replayed, and the two SSE streams
+// must match byte-for-byte — event names and payloads, including every
+// trial_pruned entry in order — and the final status must report the
+// pruned/rung counters.
+func TestDaemonFidelitySessionReplayIsByteIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, body := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "ituned",
+		"seed": 42, "budget": {"trials": 24}, "parallel": 2,
+		"target": {"scale_gb": 2},
+		"fidelity": {"strategy": "hyperband"}}`)
+	if code != http.StatusCreated || id == "" {
+		t.Fatalf("POST /sessions = %d, %v", code, body)
+	}
+	get := func() []sseEvent {
+		resp, err := http.Get(ts.URL + "/sessions/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readSSE(t, resp)
+	}
+	live := get()
+	if len(live) == 0 || live[len(live)-1].Name != "session_done" {
+		t.Fatalf("live stream malformed: %d events", len(live))
+	}
+	var prunedEvents int
+	for _, ev := range live {
+		if ev.Name == "trial_pruned" {
+			prunedEvents++
+			if !bytes.Contains(ev.Data, []byte(`"fidelity"`)) || !bytes.Contains(ev.Data, []byte(`"config"`)) {
+				t.Errorf("trial_pruned event missing fidelity/config: %s", ev.Data)
+			}
+		}
+	}
+	if prunedEvents == 0 {
+		t.Fatal("fidelity session streamed no trial_pruned events")
+	}
+	replay := get()
+	if len(replay) != len(live) {
+		t.Fatalf("replay has %d events, live had %d", len(replay), len(live))
+	}
+	for i := range live {
+		if live[i].Name != replay[i].Name {
+			t.Fatalf("replayed event %d name %q != live %q", i, replay[i].Name, live[i].Name)
+		}
+		if !bytes.Equal(live[i].Data, replay[i].Data) {
+			t.Fatalf("replayed event %d differs byte-for-byte:\nlive:   %s\nreplay: %s", i, live[i].Data, replay[i].Data)
+		}
+	}
+	// Status surfaces the fidelity counters.
+	st := waitDone(t, ts, id)
+	if got, _ := st["trials_pruned"].(float64); int(got) != prunedEvents {
+		t.Errorf("status trials_pruned = %v, stream had %d", st["trials_pruned"], prunedEvents)
+	}
+	if got, _ := st["rungs_decided"].(float64); got < 1 {
+		t.Errorf("status rungs_decided = %v, want ≥ 1", st["rungs_decided"])
 	}
 }
 

@@ -71,6 +71,13 @@ func (e *Engine) Workers() int { return e.workers }
 // loops) falls back to the blocking Tune facade unchanged. Both paths give
 // identical results at any worker count for a fixed seed.
 func (e *Engine) Tune(ctx context.Context, target tune.Target, tuner tune.Tuner, b tune.Budget) (*tune.TuningResult, error) {
+	if ft, ok := tuner.(tune.FidelityBatchTuner); ok {
+		fp, err := ft.NewFidelityProposer(target, b)
+		if err != nil {
+			return nil, err
+		}
+		return e.DriveFidelity(ctx, tuner.Name(), target, b, fp)
+	}
 	bt, ok := tuner.(tune.BatchTuner)
 	if !ok {
 		return tuner.Tune(ctx, target, b)

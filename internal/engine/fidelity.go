@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/tune"
+)
+
+// This file is the parallel multi-fidelity driver: the counterpart of Drive
+// for tune.FidelityProposer schedules, plus trial early-stopping. Each rung
+// batch is dispatched to the worker pool in full and merged back in
+// proposal order; once the rung's promotion inputs are decided — every
+// budget-admitted trial merged, or the session cut by its budget or a Stop
+// — still-executing superfluous evaluations are cancelled through a
+// rung-scoped context instead of being allowed to finish. The recorded
+// trial and event sequence (including TrialPruned ordering) depends only on
+// proposal order and reserved run indices, never on which evaluations the
+// cancellation actually reached, so streams stay byte-identical at any
+// worker count.
+
+// DriveFidelity evaluates a multi-fidelity schedule against target under b
+// with parallel rung evaluation — the engine counterpart of
+// tune.DriveFidelity, producing the identical trial and event sequence for
+// a fixed seed. The config-keyed memo cache does not apply here: a rung
+// deliberately re-measures promoted configurations at a different
+// fidelity, so memoizing by configuration alone would return the wrong
+// rung's result.
+func (e *Engine) DriveFidelity(ctx context.Context, name string, target tune.Target, b tune.Budget, fp tune.FidelityProposer) (*tune.TuningResult, error) {
+	ft, ok := target.(tune.FidelityTarget)
+	if !ok {
+		return nil, fmt.Errorf("engine: target %q has no fidelity-aware evaluation path", target.Name())
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := tune.NewSession(ctx, target, b)
+	gate := func() {}
+	if m := tune.MonitorFrom(ctx); m != nil && m.Gate != nil {
+		gate = m.Gate
+	}
+	for !s.Exhausted() {
+		gate()
+		if s.Exhausted() {
+			break // the gate may have unblocked on cancellation
+		}
+		remaining := s.Remaining()
+		cands := fp.ProposeFidelity(remaining)
+		if len(cands) == 0 {
+			break
+		}
+		if len(cands) > remaining {
+			cands = cands[:remaining]
+		}
+		if stopped := e.runRung(ctx, s, ft, fp, cands); stopped {
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec := tune.Config{}
+	if r, ok := fp.(tune.Recommender); ok {
+		rec = r.Recommend()
+	}
+	return s.Finish(name, rec), nil
+}
+
+// runRung evaluates one batch of fidelity candidates, observing results in
+// proposal order, and reports whether the session was cut mid-batch. With a
+// ConcurrentFidelityTarget and more than one worker the batch fans out to
+// the pool under a rung-scoped context; the sequential path evaluates
+// lazily, which yields the same recorded prefix because run indices are
+// assigned in proposal order either way. Caveat (mirroring Drive): a
+// mid-batch cut leaves the eagerly reserved tail of run indices unrecorded,
+// so the target's counter may differ across worker counts after such a
+// session.
+func (e *Engine) runRung(ctx context.Context, s *tune.Session, ft tune.FidelityTarget, fp tune.FidelityProposer, cands []tune.Candidate) (stopped bool) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var results []tune.Result
+	var done []chan struct{}
+	var wg sync.WaitGroup
+	cft, concurrent := ft.(tune.ConcurrentFidelityTarget)
+	if concurrent && e.workers > 1 {
+		results = make([]tune.Result, len(cands))
+		done = make([]chan struct{}, len(cands))
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		start := cft.ReserveRuns(int64(len(cands)))
+		next := make(chan int, len(cands))
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		workers := e.workers
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					// A cancelled rung skips the evaluation but still
+					// closes done[i]: the merge loop only reaches a skipped
+					// slot after the session is already exhausted, so the
+					// zero result is never recorded.
+					if rctx.Err() == nil {
+						results[i] = evalIndexed(rctx, cft, start+int64(i), cands[i])
+					}
+					close(done[i])
+				}
+			}()
+		}
+	}
+
+	for i, c := range cands {
+		var res tune.Result
+		if done != nil {
+			<-done[i]
+			res = results[i]
+		} else {
+			if s.Exhausted() {
+				stopped = true
+				break
+			}
+			res = evalSequential(rctx, ft, c)
+		}
+		// Checked after the evaluation on both paths, so a cut that lands
+		// mid-evaluation drops the in-flight trial identically at any
+		// worker count.
+		if s.Exhausted() {
+			stopped = true
+			break
+		}
+		fp.ObserveFidelity(s.RecordFidelity(c, res))
+		s.Prune(fp.PruneNotices()...)
+	}
+	// The rung's promotion inputs are decided (or the session is over):
+	// early-stop whatever is still executing. wg.Wait is bounded by the
+	// FidelityTarget contract — evaluations return promptly once their
+	// context is done — so a hanging or fault-injected low-fidelity path
+	// cannot wedge the scheduler or leak the run's slot.
+	cancel()
+	wg.Wait()
+	return stopped
+}
+
+// evalIndexed runs one candidate with an explicitly reserved run index.
+func evalIndexed(ctx context.Context, cft tune.ConcurrentFidelityTarget, idx int64, c tune.Candidate) tune.Result {
+	if c.Fidelity <= 0 || c.Fidelity >= 1 {
+		return cft.RunIndexed(idx, c.Config)
+	}
+	return cft.RunIndexedFidelity(ctx, idx, c.Fidelity, c.Config)
+}
+
+// evalSequential runs one candidate on the target's own run counter.
+func evalSequential(ctx context.Context, ft tune.FidelityTarget, c tune.Candidate) tune.Result {
+	if c.Fidelity <= 0 || c.Fidelity >= 1 {
+		return ft.Run(c.Config)
+	}
+	return ft.RunFidelity(ctx, c.Fidelity, c.Config)
+}

@@ -42,8 +42,14 @@ type Run struct {
 	pauseCh    chan struct{} // non-nil while paused; closed on resume
 	trialsDone int
 	incumbent  tune.Event // last IncumbentImproved (zero until one arrives)
-	result     *tune.TuningResult
-	err        error
+	// Multi-fidelity progress: pruned trials, and rung promotion decisions
+	// (counted as maximal groups of consecutive TrialPruned events — a
+	// rung's prune notices are always emitted contiguously).
+	trialsPruned int
+	rungsDecided int
+	lastKind     tune.EventKind
+	result       *tune.TuningResult
+	err          error
 }
 
 // Submit schedules job on the engine and returns its handle immediately.
@@ -177,7 +183,13 @@ func (r *Run) appendLocked(ev tune.Event) {
 		r.trialsDone++
 	case tune.IncumbentImproved:
 		r.incumbent = ev
+	case tune.TrialPruned:
+		r.trialsPruned++
+		if r.lastKind != tune.TrialPruned {
+			r.rungsDecided++
+		}
 	}
+	r.lastKind = ev.Kind
 	close(r.notify)
 	r.notify = make(chan struct{})
 }
@@ -190,6 +202,16 @@ func (r *Run) Progress() (trialsDone int, incumbent tune.Event, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.trialsDone, r.incumbent, r.incumbent.Kind == tune.IncumbentImproved
+}
+
+// FidelityProgress reports multi-fidelity progress: how many recorded
+// trials a rung decision has early-stopped, and how many pruning rung
+// decisions have been made. Both are zero for single-fidelity sessions.
+// O(1), tracked as events are appended.
+func (r *Run) FidelityProgress() (trialsPruned, rungsDecided int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.trialsPruned, r.rungsDecided
 }
 
 // gate blocks while the run is paused, returning when resumed or when the

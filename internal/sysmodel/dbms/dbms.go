@@ -10,6 +10,7 @@
 package dbms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -178,6 +179,22 @@ func (d *DBMS) RunIndexed(i int64, cfg tune.Config) tune.Result {
 // Run implements tune.Target.
 func (d *DBMS) Run(cfg tune.Config) tune.Result {
 	return d.RunIndexed(d.ReserveRuns(1), cfg)
+}
+
+// RunFidelity implements tune.FidelityTarget: fidelity samples the workload
+// to fraction f of its operations (a sampled scale factor). Cost scales
+// ≈ linearly with f while the cache, planner, and memory responses — which
+// depend on configuration, not operation count — are unchanged, so low
+// fidelity ranks configurations faithfully here (see DESIGN.md §11).
+// f = 1 is exactly the plain Run path. The simulator is pure and fast, so
+// ctx is not consulted.
+func (d *DBMS) RunFidelity(_ context.Context, f float64, cfg tune.Config) tune.Result {
+	return d.RunIndexedFidelity(nil, d.ReserveRuns(1), f, cfg)
+}
+
+// RunIndexedFidelity implements tune.ConcurrentFidelityTarget.
+func (d *DBMS) RunIndexedFidelity(_ context.Context, i int64, f float64, cfg tune.Config) tune.Result {
+	return d.simulate(cfg, rand.New(rand.NewSource(d.seed+i*2654435761)), tune.ClampFidelity(f))
 }
 
 // Epochs implements tune.AdaptiveTarget: a run divides into 20 windows,
@@ -620,8 +637,9 @@ func (d *DBMS) simulate(cfg tune.Config, rng *rand.Rand, opsFraction float64) tu
 
 // Interface conformance checks.
 var (
-	_ tune.Target         = (*DBMS)(nil)
-	_ tune.SpecProvider   = (*DBMS)(nil)
-	_ tune.AdaptiveTarget = (*DBMS)(nil)
-	_ tune.Describer      = (*DBMS)(nil)
+	_ tune.Target                   = (*DBMS)(nil)
+	_ tune.SpecProvider             = (*DBMS)(nil)
+	_ tune.AdaptiveTarget           = (*DBMS)(nil)
+	_ tune.Describer                = (*DBMS)(nil)
+	_ tune.ConcurrentFidelityTarget = (*DBMS)(nil)
 )

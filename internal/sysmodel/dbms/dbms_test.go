@@ -224,3 +224,37 @@ func TestRunAlwaysWellFormed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFidelityContract pins the tune.FidelityTarget contract: full fidelity
+// is bit-identical to the plain indexed run, and expected cost is monotone
+// non-decreasing in the fidelity fraction (averaged over indices to damp
+// the run noise).
+func TestFidelityContract(t *testing.T) {
+	d := newTPCH(11)
+	cfg := d.Space().Default()
+	if full, plain := d.RunIndexedFidelity(nil, 5, 1, cfg), d.RunIndexedFidelity(nil, 5, 1, cfg); full.Time != plain.Time {
+		t.Fatalf("fidelity 1 not deterministic: %v vs %v", full.Time, plain.Time)
+	}
+	if full, plain := d.RunIndexedFidelity(nil, 5, 1, cfg), newTPCH(11).RunIndexed(5, cfg); full.Time != plain.Time {
+		t.Fatalf("fidelity 1 (%v) differs from RunIndexed (%v)", full.Time, plain.Time)
+	}
+	avg := func(f float64) float64 {
+		var s float64
+		for i := int64(1); i <= 20; i++ {
+			s += d.RunIndexedFidelity(nil, i, f, cfg).Time
+		}
+		return s / 20
+	}
+	prev := 0.0
+	for _, f := range []float64{1.0 / 9, 1.0 / 3, 1} {
+		c := avg(f)
+		if c <= prev {
+			t.Fatalf("cost not monotone in fidelity: cost(%v) = %v after %v", f, c, prev)
+		}
+		prev = c
+	}
+	// Out-of-range fidelities clamp instead of exploding.
+	if r := d.RunIndexedFidelity(nil, 3, -1, cfg); r.Time <= 0 {
+		t.Fatalf("clamped fidelity produced %v", r.Time)
+	}
+}

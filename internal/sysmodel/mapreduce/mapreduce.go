@@ -9,6 +9,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -193,6 +194,34 @@ func zipfShares(n int, theta float64) []float64 {
 // Run implements tune.Target.
 func (h *Hadoop) Run(cfg tune.Config) tune.Result {
 	return h.simulate(cfg, h.rng())
+}
+
+// atFidelity returns a deployment whose job reads fraction f of the input —
+// the MapReduce fidelity knob. Cluster, space, and seed are shared so the
+// noise stream lines up with the full-scale target.
+func (h *Hadoop) atFidelity(f float64) *Hadoop {
+	j := *h.job
+	j.InputMB *= f
+	return &Hadoop{cl: h.cl, job: &j, s: h.s, seed: h.seed, NoiseStd: h.NoiseStd}
+}
+
+// RunFidelity implements tune.FidelityTarget: fidelity is the input
+// fraction. Map-wave counts, spill pressure, and shuffle volume all shrink
+// with the input, so cost scales ≈ linearly; reduce-task sizing tuned at
+// very low fidelity can mislead (fewer, smaller partitions — see DESIGN.md
+// §11). f = 1 is exactly the plain Run path.
+func (h *Hadoop) RunFidelity(_ context.Context, f float64, cfg tune.Config) tune.Result {
+	return h.RunIndexedFidelity(nil, h.ReserveRuns(1), f, cfg)
+}
+
+// RunIndexedFidelity implements tune.ConcurrentFidelityTarget.
+func (h *Hadoop) RunIndexedFidelity(_ context.Context, i int64, f float64, cfg tune.Config) tune.Result {
+	f = tune.ClampFidelity(f)
+	t := h
+	if f < 1 {
+		t = h.atFidelity(f)
+	}
+	return t.simulate(cfg, rand.New(rand.NewSource(h.seed+i*1442695040888963407)))
 }
 
 // simulate executes the job once under cfg drawing noise from rng.
@@ -418,7 +447,8 @@ func min(a, b int) int {
 
 // Interface conformance checks.
 var (
-	_ tune.Target       = (*Hadoop)(nil)
-	_ tune.SpecProvider = (*Hadoop)(nil)
-	_ tune.Describer    = (*Hadoop)(nil)
+	_ tune.Target                   = (*Hadoop)(nil)
+	_ tune.SpecProvider             = (*Hadoop)(nil)
+	_ tune.Describer                = (*Hadoop)(nil)
+	_ tune.ConcurrentFidelityTarget = (*Hadoop)(nil)
 )

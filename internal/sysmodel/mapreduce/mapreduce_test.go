@@ -161,3 +161,29 @@ func TestRunAlwaysWellFormed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFidelityContract pins the tune.FidelityTarget contract for Hadoop:
+// full fidelity is bit-identical to the plain indexed run, and expected
+// cost is monotone non-decreasing in the input fraction.
+func TestFidelityContract(t *testing.T) {
+	h := New(cluster.Commodity(8), workload.TeraSort(8), 5)
+	cfg := h.Space().Default()
+	if full, plain := h.RunIndexedFidelity(nil, 4, 1, cfg), New(cluster.Commodity(8), workload.TeraSort(8), 5).RunIndexed(4, cfg); full.Time != plain.Time {
+		t.Fatalf("fidelity 1 (%v) differs from RunIndexed (%v)", full.Time, plain.Time)
+	}
+	avg := func(f float64) float64 {
+		var sum float64
+		for i := int64(1); i <= 20; i++ {
+			sum += h.RunIndexedFidelity(nil, i, f, cfg).Time
+		}
+		return sum / 20
+	}
+	prev := 0.0
+	for _, f := range []float64{1.0 / 9, 1.0 / 3, 1} {
+		c := avg(f)
+		if c <= prev {
+			t.Fatalf("cost not monotone in fidelity: cost(%v) = %v after %v", f, c, prev)
+		}
+		prev = c
+	}
+}

@@ -11,6 +11,7 @@
 package paralleldb
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -125,8 +126,28 @@ func (p *ParallelDB) RunIndexed(i int64, cfg tune.Config) tune.Result {
 	}
 }
 
+// RunFidelity implements tune.FidelityTarget: fidelity is the input
+// fraction, as for the MapReduce targets. f = 1 is exactly the plain Run
+// path.
+func (p *ParallelDB) RunFidelity(_ context.Context, f float64, cfg tune.Config) tune.Result {
+	return p.RunIndexedFidelity(nil, p.ReserveRuns(1), f, cfg)
+}
+
+// RunIndexedFidelity implements tune.ConcurrentFidelityTarget.
+func (p *ParallelDB) RunIndexedFidelity(_ context.Context, i int64, f float64, cfg tune.Config) tune.Result {
+	f = tune.ClampFidelity(f)
+	if f >= 1 {
+		return p.RunIndexed(i, cfg)
+	}
+	j := *p.job
+	j.InputMB *= f
+	scaled := &ParallelDB{cl: p.cl, job: &j, s: p.s, seed: p.seed}
+	return scaled.RunIndexed(i, cfg)
+}
+
 // Interface conformance checks.
 var (
-	_ tune.Target       = (*ParallelDB)(nil)
-	_ tune.SpecProvider = (*ParallelDB)(nil)
+	_ tune.Target                   = (*ParallelDB)(nil)
+	_ tune.SpecProvider             = (*ParallelDB)(nil)
+	_ tune.ConcurrentFidelityTarget = (*ParallelDB)(nil)
 )

@@ -9,6 +9,7 @@
 package spark
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -273,6 +274,38 @@ func (s *Spark) RunIndexed(i int64, cfg tune.Config) tune.Result {
 // Run implements tune.Target.
 func (s *Spark) Run(cfg tune.Config) tune.Result {
 	return s.RunIndexed(s.ReserveRuns(1), cfg)
+}
+
+// atFidelity returns a deployment whose job processes fraction f of the
+// input (input, cacheable, and shuffle volumes all scaled) — the Spark
+// fidelity knob. The copy shares cluster, space, and seed so noise streams
+// line up with the full-scale target; the run counter is not shared, which
+// is fine because fidelity runs always arrive with explicit indices.
+func (s *Spark) atFidelity(f float64) *Spark {
+	j := *s.job
+	j.InputMB *= f
+	j.CacheableMB *= f
+	j.ShuffleMB *= f
+	return &Spark{cl: s.cl, job: &j, s: s.s, seed: s.seed, NoiseStd: s.NoiseStd}
+}
+
+// RunFidelity implements tune.FidelityTarget: fidelity is the input
+// fraction. Cost scales ≈ linearly with f; note that a scaled-down input
+// may fit in executor memory where the full input spills, so very low
+// fidelities can flatter undersized-memory configurations (the misleading
+// case documented in DESIGN.md §11). f = 1 is exactly the plain Run path.
+func (s *Spark) RunFidelity(_ context.Context, f float64, cfg tune.Config) tune.Result {
+	return s.RunIndexedFidelity(nil, s.ReserveRuns(1), f, cfg)
+}
+
+// RunIndexedFidelity implements tune.ConcurrentFidelityTarget.
+func (s *Spark) RunIndexedFidelity(_ context.Context, i int64, f float64, cfg tune.Config) tune.Result {
+	f = tune.ClampFidelity(f)
+	t := s
+	if f < 1 {
+		t = s.atFidelity(f)
+	}
+	return t.simulate(cfg, rand.New(rand.NewSource(s.seed+i*6364136223846793005)), false, 0)
 }
 
 // Epochs implements tune.AdaptiveTarget: iterations (or batches) are the
@@ -716,8 +749,9 @@ func quantileOf(xs []float64, q float64) float64 {
 
 // Interface conformance checks.
 var (
-	_ tune.Target         = (*Spark)(nil)
-	_ tune.SpecProvider   = (*Spark)(nil)
-	_ tune.AdaptiveTarget = (*Spark)(nil)
-	_ tune.Describer      = (*Spark)(nil)
+	_ tune.Target                   = (*Spark)(nil)
+	_ tune.SpecProvider             = (*Spark)(nil)
+	_ tune.AdaptiveTarget           = (*Spark)(nil)
+	_ tune.Describer                = (*Spark)(nil)
+	_ tune.ConcurrentFidelityTarget = (*Spark)(nil)
 )

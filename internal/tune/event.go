@@ -19,6 +19,12 @@ const (
 	TrialDone EventKind = "trial_done"
 	// IncumbentImproved follows a TrialDone whose result beat the incumbent.
 	IncumbentImproved EventKind = "incumbent_improved"
+	// TrialPruned reports that a recorded low-fidelity trial was
+	// early-stopped by a rung promotion decision: its configuration will not
+	// be re-evaluated at higher fidelity. Pruned trials are emitted in
+	// ascending trial order immediately after the observation that decided
+	// the rung, so their ordering is part of the deterministic stream.
+	TrialPruned EventKind = "trial_pruned"
 	// SessionDone closes the stream with the final result or the error.
 	SessionDone EventKind = "session_done"
 )
@@ -35,6 +41,9 @@ type Event struct {
 	Trial  int
 	Config Config
 	Result Result
+	// Fidelity is the partial fidelity the trial runs at (TrialStarted and
+	// TrialPruned in multi-fidelity sessions; zero means full fidelity).
+	Fidelity float64
 	// SimTimeUsed is the session's cumulative simulated seconds after this
 	// trial (TrialDone only).
 	SimTimeUsed float64
@@ -49,6 +58,7 @@ type eventJSON struct {
 	Kind        EventKind         `json:"kind"`
 	Seq         int               `json:"seq"`
 	Trial       int               `json:"trial,omitempty"`
+	Fidelity    float64           `json:"fidelity,omitempty"`
 	Config      map[string]string `json:"config,omitempty"`
 	Result      *Result           `json:"result,omitempty"`
 	SimTimeUsed float64           `json:"sim_time_used,omitempty"`
@@ -59,7 +69,7 @@ type eventJSON struct {
 // MarshalJSON renders the event with only the fields its kind populates;
 // configurations marshal as name→value maps.
 func (e Event) MarshalJSON() ([]byte, error) {
-	j := eventJSON{Kind: e.Kind, Seq: e.Seq, Trial: e.Trial}
+	j := eventJSON{Kind: e.Kind, Seq: e.Seq, Trial: e.Trial, Fidelity: e.Fidelity}
 	if e.Config.Valid() {
 		j.Config = e.Config.Map()
 	}

@@ -17,7 +17,14 @@ type TrialRecord struct {
 	Time    float64            `json:"time"`
 	Failed  bool               `json:"failed,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Fidelity marks a partial-fidelity evaluation (zero = full). Partial
+	// trials measured a cheaper workload, so best-trial selection and
+	// transfer skip them.
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
+
+// fullFidelity mirrors Result.FullFidelity for serialized trials.
+func (t TrialRecord) fullFidelity() bool { return t.Fidelity <= 0 || t.Fidelity >= 1 }
 
 // SessionRecord is one past tuning session over a named workload: what
 // OtterTune calls a "workload" entry in its repository.
@@ -33,7 +40,7 @@ type SessionRecord struct {
 func (s *SessionRecord) BestTrial() int {
 	best, at := math.Inf(1), -1
 	for i, t := range s.Trials {
-		if !t.Failed && t.Time < best {
+		if !t.Failed && t.fullFidelity() && t.Time < best {
 			best, at = t.Time, i
 		}
 	}
@@ -59,10 +66,11 @@ func NewSessionRecord(system, workload string, features map[string]float64, tr *
 	}
 	for _, t := range tr.Trials {
 		rec.Trials = append(rec.Trials, TrialRecord{
-			Vector:  t.Config.Vector(),
-			Time:    t.Result.Time,
-			Failed:  t.Result.Failed,
-			Metrics: t.Result.Metrics,
+			Vector:   t.Config.Vector(),
+			Time:     t.Result.Time,
+			Failed:   t.Result.Failed,
+			Metrics:  t.Result.Metrics,
+			Fidelity: t.Result.Fidelity,
 		})
 	}
 	return rec

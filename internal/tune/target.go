@@ -19,7 +19,15 @@ type Result struct {
 	FailReason string `json:"fail_reason,omitempty"`
 	// Metrics are internal runtime counters keyed by metric name.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Fidelity is the fraction of the full workload this run evaluated
+	// (see FidelityTarget). Zero means full fidelity; partial-fidelity
+	// results are comparable only within their own rung, so sessions never
+	// let them become the incumbent.
+	Fidelity float64 `json:"fidelity,omitempty"`
 }
+
+// FullFidelity reports whether the result measured the complete workload.
+func (r Result) FullFidelity() bool { return r.Fidelity <= 0 || r.Fidelity >= 1 }
 
 // Objective returns the value tuners minimize: the runtime, heavily
 // penalized on failure so optimizers steer away from crashing regions while

@@ -35,12 +35,14 @@ type TuningResult struct {
 }
 
 // Curve returns the best objective seen after each trial — the "tuning
-// curve" used to compare convergence speed across approaches.
+// curve" used to compare convergence speed across approaches. Partial-
+// fidelity trials carry the previous best forward: their objectives measure
+// a cheaper workload and are not comparable to full runs.
 func (r *TuningResult) Curve() []float64 {
 	out := make([]float64, len(r.Trials))
 	best := math.Inf(1)
 	for i, t := range r.Trials {
-		if v := t.Result.Objective(); v < best {
+		if v := t.Result.Objective(); t.Result.FullFidelity() && v < best {
 			best = v
 		}
 		out[i] = best
@@ -50,10 +52,11 @@ func (r *TuningResult) Curve() []float64 {
 
 // TrialsToWithin returns the 1-based trial index at which the tuner first
 // reached within factor×reference (e.g. 1.10×best-known); 0 if never.
+// Partial-fidelity trials never qualify — their times measure less work.
 func (r *TuningResult) TrialsToWithin(reference, factor float64) int {
 	limit := reference * factor
 	for _, t := range r.Trials {
-		if !t.Result.Failed && t.Result.Time <= limit {
+		if !t.Result.Failed && t.Result.FullFidelity() && t.Result.Time <= limit {
 			return t.N
 		}
 	}
@@ -168,11 +171,83 @@ func (s *Session) recordLocked(cfg Config, res Result) Trial {
 	t := Trial{N: len(s.trials) + 1, Config: cfg, Result: res}
 	s.trials = append(s.trials, t)
 	s.emitLocked(Event{Kind: TrialDone, Trial: t.N, Config: cfg, Result: res, SimTimeUsed: s.simUsed})
-	if !s.hasBest || res.Objective() < s.bestRes.Objective() {
+	// Only full-fidelity results can hold the incumbency: a partial run's
+	// time measures a cheaper workload, not a better configuration.
+	if res.FullFidelity() && (!s.hasBest || res.Objective() < s.bestRes.Objective()) {
 		s.best, s.bestRes, s.hasBest = cfg, res, true
 		s.emitLocked(Event{Kind: IncumbentImproved, Trial: t.N, Config: cfg, Result: res})
 	}
 	return t
+}
+
+// partialFidelity normalizes a candidate fidelity: 0 for the full workload,
+// otherwise the partial fraction in (0, 1).
+func partialFidelity(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		return 0
+	}
+	return f
+}
+
+// RunFidelity evaluates c against the fidelity-aware target, recording the
+// trial with its fidelity. Full-fidelity candidates run through Target.Run,
+// so a fidelity session's top-rung trials draw the plain path's noise
+// stream.
+func (s *Session) RunFidelity(ft FidelityTarget, c Candidate) (Result, error) {
+	s.gate()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if s.exhaustedLocked() {
+		return Result{}, ErrBudgetExhausted
+	}
+	fid := partialFidelity(c.Fidelity)
+	s.emitLocked(Event{Kind: TrialStarted, Trial: len(s.trials) + 1, Config: c.Config, Fidelity: fid})
+	var res Result
+	if fid == 0 {
+		res = s.target.Run(c.Config)
+	} else {
+		res = ft.RunFidelity(s.ctx, fid, c.Config)
+		res.Fidelity = fid
+	}
+	s.recordLocked(c.Config, res)
+	return res, nil
+}
+
+// RecordFidelity is RecordExternal for fidelity candidates: the concurrent
+// engine evaluates rungs on its worker pool and merges each outcome here in
+// proposal order, stamping the result with the candidate's fidelity.
+func (s *Session) RecordFidelity(c Candidate, res Result) Trial {
+	s.gate()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fid := partialFidelity(c.Fidelity)
+	if fid != 0 {
+		res.Fidelity = fid
+	}
+	s.emitLocked(Event{Kind: TrialStarted, Trial: len(s.trials) + 1, Config: c.Config, Fidelity: fid})
+	return s.recordLocked(c.Config, res)
+}
+
+// Prune emits TrialPruned for the given recorded trial numbers — the
+// multi-fidelity drivers call it with each batch of prune notices, in the
+// deterministic order the proposer decided them. Out-of-range numbers are
+// ignored.
+func (s *Session) Prune(ns ...int) {
+	if len(ns) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range ns {
+		if n < 1 || n > len(s.trials) {
+			continue
+		}
+		t := s.trials[n-1]
+		s.emitLocked(Event{Kind: TrialPruned, Trial: n, Config: t.Config, Fidelity: partialFidelity(t.Result.Fidelity)})
+	}
 }
 
 // emitLocked forwards an event to the attached monitor, if any. The session

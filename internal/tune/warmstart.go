@@ -66,7 +66,7 @@ func TransferConfigs(rec SessionRecord, space *Space, k int) []Config {
 	}
 	order := make([]int, 0, len(rec.Trials))
 	for i, t := range rec.Trials {
-		if !t.Failed && len(t.Vector) == space.Dim() {
+		if !t.Failed && t.fullFidelity() && len(t.Vector) == space.Dim() {
 			order = append(order, i)
 		}
 	}

@@ -6,6 +6,7 @@ package tuners_test
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	repro "repro"
@@ -355,6 +356,76 @@ func TestGoldenDeterminismCorpus(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestGoldenDeterminismFidelity extends the corpus to multi-fidelity
+// sessions: for each fidelity strategy over representative inner tuners,
+// the entire marshaled event stream — TrialStarted fidelities, TrialDone
+// results, and crucially the TrialPruned ordering that rung decisions emit
+// — must be byte-identical at -parallel 1 vs 4 on dbms/tpch and
+// spark/pagerank.
+func TestGoldenDeterminismFidelity(t *testing.T) {
+	targets := []struct {
+		system, workload string
+		opts             repro.TargetOptions
+	}{
+		{"dbms", "tpch", repro.TargetOptions{ScaleGB: 2}},
+		{"spark", "pagerank", repro.TargetOptions{ScaleGB: 1}},
+	}
+	stream := func(spec repro.Spec, parallel int) []string {
+		t.Helper()
+		spec.Parallel = parallel
+		eng := repro.NewEngine(repro.EngineOptions{Workers: parallel})
+		run, err := repro.StartOn(context.Background(), eng, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []string
+		for ev := range run.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, string(data))
+		}
+		if _, err := run.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	for _, strategy := range []string{"hyperband", "halving"} {
+		for _, tuner := range []string{"ituned", "random"} {
+			for _, tc := range targets {
+				t.Run(strategy+"/"+tuner+"/"+tc.system, func(t *testing.T) {
+					spec := repro.Spec{
+						System: tc.system, Workload: tc.workload, Tuner: tuner,
+						Seed: 11, Budget: repro.Budget{Trials: 24}, Target: tc.opts,
+						Fidelity: &repro.FidelitySpec{Strategy: strategy},
+					}
+					seq := stream(spec, 1)
+					par := stream(spec, 4)
+					if len(seq) == 0 {
+						t.Fatal("no events streamed")
+					}
+					if len(seq) != len(par) {
+						t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+					}
+					var pruned int
+					for i := range seq {
+						if seq[i] != par[i] {
+							t.Fatalf("event %d differs across parallelism:\n  p1: %s\n  p4: %s", i, seq[i], par[i])
+						}
+						if strings.Contains(seq[i], `"kind":"trial_pruned"`) {
+							pruned++
+						}
+					}
+					if pruned == 0 {
+						t.Error("a multi-fidelity session emitted no trial_pruned events")
+					}
+				})
+			}
 		}
 	}
 }

@@ -52,6 +52,44 @@ type Spec struct {
 	// in the repository (see tune.WarmConfigs). It requires an ask/tell
 	// tuner; over an empty repository it degrades to a cold start.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Fidelity, when set, runs the session as a multi-fidelity schedule:
+	// successive-halving/Hyperband brackets over the tuner's proposals,
+	// screening configurations cheaply at low fidelity and promoting only
+	// the survivors to full-cost runs (TrialPruned events mark the
+	// early-stopped trials). It requires an ask/tell tuner and a target
+	// with a fidelity-aware evaluation path.
+	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
+}
+
+// FidelitySpec configures multi-fidelity tuning for a session (see
+// tune.FidelitySpace and tune.Schedule).
+type FidelitySpec struct {
+	// Strategy selects the bracket schedule: "hyperband" (default) cycles
+	// full Hyperband sweeps; "halving" repeats the single most exploratory
+	// successive-halving bracket.
+	Strategy string `json:"strategy,omitempty"`
+	// Min is the lowest fidelity evaluated, as a fraction of the full
+	// workload (default 1/9).
+	Min float64 `json:"min,omitempty"`
+	// Eta is the rung promotion ratio (default 3).
+	Eta float64 `json:"eta,omitempty"`
+}
+
+// validate rejects out-of-range fidelity options with descriptive errors.
+func (f *FidelitySpec) validate() error {
+	switch f.Strategy {
+	case "", tune.StrategyHyperband, tune.StrategyHalving:
+	default:
+		return fmt.Errorf("repro: unknown fidelity strategy %q (have %s, %s)",
+			f.Strategy, tune.StrategyHyperband, tune.StrategyHalving)
+	}
+	if f.Min != 0 && !(f.Min >= tune.MinFidelity && f.Min <= 1) {
+		return fmt.Errorf("repro: fidelity min must be within [%v, 1] (0 selects the default of 1/9), got %v", tune.MinFidelity, f.Min)
+	}
+	if f.Eta != 0 && !(f.Eta >= 1.5 && f.Eta <= 10) {
+		return fmt.Errorf("repro: fidelity eta must be within [1.5, 10] (0 selects the default of 3), got %v", f.Eta)
+	}
+	return nil
 }
 
 // WarmSeeds is how many transferred configurations a warm-started session
@@ -122,6 +160,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("repro: proxy nodes must be ≥ 0, got %d", s.Proxy.Nodes)
 		}
 	}
+	if s.Fidelity != nil {
+		if err := s.Fidelity.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -175,6 +218,21 @@ func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error
 		}
 		seeds := tune.WarmConfigs(repo, s.System, features, target.Space(), WarmSeeds)
 		tuner = tune.WarmStartTuner(bt, seeds)
+	}
+	if s.Fidelity != nil {
+		bt, ok := tuner.(tune.BatchTuner)
+		if !ok {
+			return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot run a fidelity schedule", s.Tuner)
+		}
+		if _, ok := target.(tune.FidelityTarget); !ok {
+			return Job{}, fmt.Errorf("repro: target %q has no fidelity-aware evaluation path", target.Name())
+		}
+		mf, err := tune.NewMultiFidelity(bt,
+			tune.FidelitySpace{Min: s.Fidelity.Min, Eta: s.Fidelity.Eta}, s.Fidelity.Strategy, s.Seed)
+		if err != nil {
+			return Job{}, err
+		}
+		tuner = mf
 	}
 	return Job{
 		Name:     s.Name(),

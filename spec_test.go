@@ -28,6 +28,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		Proxy:    &ProxySpec{ScaleGB: 4, Nodes: 4},
 		Parallel: 4,
 		Memo:     true,
+		Fidelity: &FidelitySpec{Strategy: "hyperband", Min: 0.1, Eta: 2.5},
 	}
 	data, err := json.Marshal(spec)
 	if err != nil {
@@ -41,7 +42,7 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 		t.Errorf("round trip changed the spec:\n  in:  %+v\n  out: %+v", spec, back)
 	}
 	// Wire names stay snake_case: remote clients program against them.
-	for _, key := range []string{`"system"`, `"workload"`, `"tuner"`, `"seed"`, `"budget"`, `"trials"`, `"sim_time"`, `"scale_gb"`, `"tenant_load"`, `"full_spark_space"`, `"proxy"`, `"parallel"`, `"memo"`} {
+	for _, key := range []string{`"system"`, `"workload"`, `"tuner"`, `"seed"`, `"budget"`, `"trials"`, `"sim_time"`, `"scale_gb"`, `"tenant_load"`, `"full_spark_space"`, `"proxy"`, `"parallel"`, `"memo"`, `"fidelity"`, `"strategy"`, `"eta"`} {
 		if !bytes.Contains(data, []byte(key)) {
 			t.Errorf("spec JSON missing %s: %s", key, data)
 		}
@@ -69,6 +70,11 @@ func TestSpecValidate(t *testing.T) {
 		{func(s *Spec) { s.Parallel = -1 }, "parallel"},
 		{func(s *Spec) { s.Target.TenantLoad = 0.95 }, "TenantLoad"},
 		{func(s *Spec) { s.Proxy = &ProxySpec{ScaleGB: 0} }, "proxy"},
+		{func(s *Spec) { s.Fidelity = &FidelitySpec{Strategy: "nosuch"} }, "fidelity strategy"},
+		{func(s *Spec) { s.Fidelity = &FidelitySpec{Min: -0.5} }, "fidelity min"},
+		{func(s *Spec) { s.Fidelity = &FidelitySpec{Min: 1.5} }, "fidelity min"},
+		{func(s *Spec) { s.Fidelity = &FidelitySpec{Eta: 1.01} }, "fidelity eta"},
+		{func(s *Spec) { s.Fidelity = &FidelitySpec{Eta: 50} }, "fidelity eta"},
 	}
 	for _, c := range cases {
 		spec := ok
@@ -400,5 +406,41 @@ func TestSpecWarmStartRequiresAskTell(t *testing.T) {
 		Seed: 1, Budget: Budget{Trials: 2}, WarmStart: true,
 	}).Job(); err != nil {
 		t.Fatalf("warm start without history: %v", err)
+	}
+}
+
+// TestSpecFidelityMaterialization: a fidelity spec needs an ask/tell tuner;
+// builtin targets all expose a fidelity path, and the materialized job runs
+// the wrapped hyperband tuner.
+func TestSpecFidelityMaterialization(t *testing.T) {
+	_, err := Spec{
+		System: "dbms", Workload: "tpch", Tuner: "rrs",
+		Seed: 1, Budget: Budget{Trials: 22}, Fidelity: &FidelitySpec{},
+	}.Job()
+	if err == nil || !strings.Contains(err.Error(), "ask/tell") {
+		t.Fatalf("err = %v, want an ask/tell explanation", err)
+	}
+	job, err := Spec{
+		System: "spark", Workload: "pagerank", Tuner: "ituned",
+		Seed: 1, Budget: Budget{Trials: 22}, Target: TargetOptions{ScaleGB: 1},
+		Fidelity: &FidelitySpec{Strategy: "halving"},
+	}.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Tuner.Name(); got != "halving(experiment/ituned)" {
+		t.Errorf("fidelity job tuner = %q", got)
+	}
+	// Every builtin system's target supports the fidelity path.
+	for _, tc := range []struct{ system, wl string }{
+		{"dbms", "tpch"}, {"hadoop", "terasort"}, {"spark", "kmeans"}, {"paralleldb", "grep"},
+	} {
+		target, err := NewTarget(tc.system, tc.wl, 1, TargetOptions{ScaleGB: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := target.(FidelityTarget); !ok {
+			t.Errorf("%s target has no fidelity path", tc.system)
+		}
 	}
 }
