@@ -53,6 +53,9 @@ func main() {
 		fidelity  = flag.String("fidelity", "", `multi-fidelity bracket strategy: "hyperband" or "halving" (off when empty)`)
 		fidMin    = flag.Float64("fidelity-min", 0, "lowest fidelity fraction evaluated (0 = default 1/9)")
 		fidEta    = flag.Float64("fidelity-eta", 0, "rung promotion ratio (0 = default 3)")
+		surrogate = flag.String("surrogate", "", `GP surrogate tier for model-based tuners: "auto", "exact", "sparse", or "rff" (empty = auto)`)
+		spAbove   = flag.Int("sparse-above", 0, "trial count above which auto surrogate mode leaves the exact GP (0 = default 160)")
+		rffAbove  = flag.Int("rff-above", 0, "trial count above which auto surrogate mode switches to random Fourier features (0 = default 1500)")
 	)
 	flag.Parse()
 
@@ -99,7 +102,14 @@ func main() {
 		fmt.Printf("repository %s: %d past sessions\n", *repoDir, len(repo.Sessions))
 	}
 
-	tn, err := repro.NewTuner(*tuner, repro.TunerOptions{Seed: *seed, Repo: repo, TargetName: target.Name()})
+	var surSpec *repro.SurrogateSpec
+	if *surrogate != "" || *spAbove > 0 || *rffAbove > 0 {
+		surSpec = &repro.SurrogateSpec{Tier: *surrogate, SparseAbove: *spAbove, RFFAbove: *rffAbove}
+		if err := surSpec.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	tn, err := repro.NewTuner(*tuner, repro.TunerOptions{Seed: *seed, Repo: repo, TargetName: target.Name(), Surrogate: surSpec})
 	if err != nil {
 		fatal(err)
 	}

@@ -33,8 +33,8 @@ func TestTableRenderAndCSV(t *testing.T) {
 
 func TestRegistryListsAllExperiments(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(exps))
+	if len(exps) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(exps))
 	}
 	names := map[string]bool{}
 	for _, e := range exps {
@@ -43,7 +43,7 @@ func TestRegistryListsAllExperiments(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.Name)
 		}
 	}
-	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer", "fidelity"} {
+	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer", "fidelity", "surrogate"} {
 		if !names[want] {
 			t.Errorf("missing experiment %q", want)
 		}
@@ -197,6 +197,39 @@ func TestFidelityReachesIncumbentAtHalfCost(t *testing.T) {
 		fmt.Sscanf(row[3], "%d", &pruned)
 		if pruned == 0 {
 			t.Errorf("%s pruned no trials", row[0])
+		}
+	}
+}
+
+// TestSurrogateFast checks the E11 table's structure and its deterministic
+// columns: every tier row is present at every n, the cheap tiers agree with
+// the exact GP to a usable tolerance, and the exact row's speedup is exactly
+// 1× (it is its own baseline). Wall-clock columns are only checked for shape
+// — CI hosts are too noisy to assert on absolute timings here; the hard
+// performance claims live in BenchmarkSurrogateFit and BENCH_pr6.json.
+func TestSurrogateFast(t *testing.T) {
+	tb := Surrogate(fastOpts())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 tiers × 2 sizes", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		if !strings.HasSuffix(row[2], "ms") || !strings.HasSuffix(row[3], "ms") {
+			t.Errorf("row %d timing columns malformed: %v", i, row)
+		}
+		if !strings.HasSuffix(row[5], "x") {
+			t.Errorf("row %d speedup malformed: %v", i, row)
+		}
+		var rmse float64
+		fmt.Sscanf(row[4], "%f", &rmse)
+		switch {
+		case i%3 == 0: // exact row: zero self-disagreement, unit speedup
+			if rmse != 0 || row[5] != "1.00x" {
+				t.Errorf("exact row self-comparison wrong: %v", row)
+			}
+		default: // sparse/rff rows approximate the exact posterior
+			if rmse > 2.0 {
+				t.Errorf("row %d disagrees with the exact GP (rmse %.3f): %v", i, rmse, row)
+			}
 		}
 	}
 }

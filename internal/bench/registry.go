@@ -64,6 +64,11 @@ var registry = map[string]Experiment{
 		Doc: "Hyperband/successive-halving vs full-fidelity tuning: incumbent quality vs evaluation cost",
 		Run: Fidelity,
 	},
+	"surrogate": {
+		Name: "surrogate", Paper: "§2.5 model scalability (surrogate cost past the exact-GP wall)",
+		Doc: "exact vs sparse-inducing vs random-Fourier-feature surrogates: fit/score cost and posterior agreement",
+		Run: Surrogate,
+	},
 }
 
 // Experiments lists registered experiment names, sorted.

@@ -249,6 +249,8 @@ func TestDaemonRejectsBadSpecs(t *testing.T) {
 		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "bogus_field": 1}`,
 		`{"system": "nosuch", "workload": "x", "tuner": "ituned", "budget": {"trials": 1}}`,
 		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "target": {"tenant_load": 2}}`,
+		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "surrogate": {"tier": "kriging"}}`,
+		`{"system": "dbms", "workload": "tpch", "tuner": "ituned", "budget": {"trials": 1}, "surrogate": {"sparse_above": 500, "rff_above": 100}}`,
 	} {
 		_, code, body := postSpec(t, ts, spec)
 		if code != http.StatusBadRequest {
@@ -257,6 +259,32 @@ func TestDaemonRejectsBadSpecs(t *testing.T) {
 		if msg, _ := body["error"].(string); msg == "" {
 			t.Errorf("POST %s: no error message in %v", spec, body)
 		}
+	}
+}
+
+// TestDaemonSurrogateSpecRuns: a spec pinning the surrogate tier schedule is
+// accepted, runs to completion, and the recorded spec echoes the schedule.
+func TestDaemonSurrogateSpecRuns(t *testing.T) {
+	ts := newTestServer(t)
+	id, code, body := postSpec(t, ts, `{
+		"system": "dbms", "workload": "tpch", "tuner": "ituned",
+		"seed": 7, "budget": {"trials": 12}, "parallel": 2,
+		"target": {"scale_gb": 2},
+		"surrogate": {"sparse_above": 8, "inducing": 8}}`)
+	if code != http.StatusCreated || id == "" {
+		t.Fatalf("POST /sessions = %d, %v", code, body)
+	}
+	st := waitDone(t, ts, id)
+	if s, _ := st["state"].(string); s != "done" {
+		t.Fatalf("surrogate session state = %v", st)
+	}
+	if n, _ := st["trials_done"].(float64); n != 12 {
+		t.Errorf("trials_done = %v, want 12", st["trials_done"])
+	}
+	spec, _ := st["spec"].(map[string]any)
+	sur, _ := spec["surrogate"].(map[string]any)
+	if v, _ := sur["sparse_above"].(float64); v != 8 {
+		t.Errorf("recorded spec surrogate = %v, want sparse_above 8", spec["surrogate"])
 	}
 }
 

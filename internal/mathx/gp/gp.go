@@ -48,6 +48,12 @@ const (
 // sqrt5 hoists the Matérn constant out of the per-pair kernel math.
 var sqrt5 = math.Sqrt(5)
 
+// blockedFitMinN is the training-set size at which refit switches from the
+// serial Cholesky to the blocked parallel factorization. It sits far above
+// every golden-pinned fit (n ≤ ~80), so recorded exact-GP event streams keep
+// their exact bits.
+const blockedFitMinN = 256
+
 // Hyper holds GP hyperparameters: signal variance, lengthscale, and
 // observation noise standard deviation — all in standardized-y units.
 type Hyper struct {
@@ -205,7 +211,19 @@ func (g *GP) refit() error {
 	}
 	noise := g.Hyper.NoiseStd * g.Hyper.NoiseStd
 	k.AddDiag(noise + 1e-8)
-	ch, added, err := linalg.CholeskyWithJitter(k, 1e-8, 8)
+	var (
+		ch    *linalg.Cholesky
+		added float64
+		err   error
+	)
+	if n >= blockedFitMinN {
+		// Large fits amortize goroutine fan-out: the blocked factorization is
+		// bit-identical at every worker count, though not to the serial path —
+		// which is why the threshold sits far above every golden-pinned fit.
+		ch, added, err = linalg.ParallelCholeskyWithJitter(k, 1e-8, 8, 0)
+	} else {
+		ch, added, err = linalg.CholeskyWithJitter(k, 1e-8, 8)
+	}
 	if err != nil {
 		// Invalidate rather than leave a factor sized for the previous
 		// training set: Predict then reports total uncertainty instead of
@@ -414,10 +432,18 @@ func (g *GP) kernelVecInto(ks, p []float64, n, d int) {
 }
 
 // PredictAll evaluates the posterior at every point, reusing the GP's
-// workspaces between points; only the two result slices are allocated.
+// workspaces between points; only the two result slices are allocated. It
+// honors Predict's pre-Fit guard: an unfitted GP yields (0, +Inf) for every
+// point rather than panicking.
 func (g *GP) PredictAll(points [][]float64) (mu, sigma []float64) {
 	mu = make([]float64, len(points))
 	sigma = make([]float64, len(points))
+	if g.chol == nil {
+		for i := range sigma {
+			sigma[i] = math.Inf(1)
+		}
+		return mu, sigma
+	}
 	for i, p := range points {
 		mu[i], sigma[i] = g.Predict(p)
 	}
@@ -425,25 +451,30 @@ func (g *GP) PredictAll(points [][]float64) (mu, sigma []float64) {
 }
 
 // ExpectedImprovement returns EI at p for minimization against the incumbent
-// best observed value. Larger is better.
+// best observed value. Larger is better; 0 before a successful Fit.
 func (g *GP) ExpectedImprovement(p []float64, best float64) float64 {
 	mu, sigma := g.Predict(p)
-	if sigma < 1e-12 {
-		return 0
-	}
-	z := (best - mu) / sigma
-	return (best-mu)*stat.NormCDF(z) + sigma*stat.NormPDF(z)
+	return expectedImprovement(mu, sigma, best)
 }
 
 // ScoreCandidates returns Expected Improvement against best for every
 // candidate, writing into dst when it has capacity (pass nil to allocate).
 // One batched call serves a whole candidate pool allocation-free — the
-// screening step of the iTuned and OtterTune proposal loops.
+// screening step of the iTuned and OtterTune proposal loops. Like Predict,
+// it tolerates an unfitted model, scoring every candidate 0 instead of
+// propagating the unfitted sigma = +Inf through the EI formula (which would
+// hand the downstream argmax ±Inf/NaN scores).
 func (g *GP) ScoreCandidates(points [][]float64, best float64, dst []float64) []float64 {
 	if cap(dst) < len(points) {
 		dst = make([]float64, len(points))
 	}
 	dst = dst[:len(points)]
+	if g.chol == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
 	for i, p := range points {
 		dst[i] = g.ExpectedImprovement(p, best)
 	}
@@ -464,6 +495,9 @@ func (g *GP) TrainingSize() int {
 	}
 	return g.x.R
 }
+
+// Tier implements Surrogate: the exact O(n³) tier.
+func (g *GP) Tier() string { return "exact" }
 
 // growWorkspaces ensures the prediction workspaces hold n entries.
 func (g *GP) growWorkspaces(n int) {

@@ -12,15 +12,18 @@ import (
 // lift that session's best configurations into the new target's space, and
 // inject them as the first proposals of an otherwise-unchanged proposer.
 
-// NearestSession returns the index of the session whose feature map is
-// nearest features under normalized Euclidean distance, or -1 when sessions
-// is empty. Each feature key is scaled by the largest absolute value it
-// takes across the query and all candidates, so features spanning decades
-// (bytes vs ratios) weigh equally. Ties break toward the earliest session,
-// keeping the mapping deterministic.
-func NearestSession(sessions []SessionRecord, features map[string]float64) int {
+// RankSessions returns the indices of sessions ordered nearest-first by
+// normalized Euclidean feature distance to features. The max-abs
+// normalization vector is computed ONCE over the query and all candidates —
+// previously every nearest-lookup retry rebuilt it from scratch, turning a
+// warm start over s sessions into O(s²) map traversals in the worst case.
+// Each feature key is scaled by the largest absolute value it takes across
+// the query and all candidates, so features spanning decades (bytes vs
+// ratios) weigh equally. Ties break toward the earlier session, keeping the
+// ranking deterministic.
+func RankSessions(sessions []SessionRecord, features map[string]float64) []int {
 	if len(sessions) == 0 {
-		return -1
+		return nil
 	}
 	scale := map[string]float64{}
 	note := func(m map[string]float64) {
@@ -39,7 +42,7 @@ func NearestSession(sessions []SessionRecord, features map[string]float64) int {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	bestAt, bestD := -1, math.Inf(1)
+	dist := make([]float64, len(sessions))
 	for i, s := range sessions {
 		var d float64
 		for _, k := range keys {
@@ -50,11 +53,27 @@ func NearestSession(sessions []SessionRecord, features map[string]float64) int {
 			dd := (features[k] - s.Features[k]) / sc
 			d += dd * dd
 		}
-		if d < bestD {
-			bestD, bestAt = d, i
-		}
+		dist[i] = d
 	}
-	return bestAt
+	order := make([]int, len(sessions))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return dist[order[a]] < dist[order[b]]
+	})
+	return order
+}
+
+// NearestSession returns the index of the session whose feature map is
+// nearest features under normalized Euclidean distance, or -1 when sessions
+// is empty.
+func NearestSession(sessions []SessionRecord, features map[string]float64) int {
+	order := RankSessions(sessions, features)
+	if len(order) == 0 {
+		return -1
+	}
+	return order[0]
 }
 
 // TransferConfigs lifts the k best distinct non-failed trials of rec into
@@ -113,16 +132,18 @@ func WarmConfigs(repo *Repository, system string, features map[string]float64, s
 	}
 	sessions := repo.ForSystem(system)
 	// Prefer the nearest session that actually transfers; the nearest one
-	// may have been recorded against an incompatible space.
-	for len(sessions) > 0 {
-		at := NearestSession(sessions, features)
-		if at < 0 {
-			return nil
+	// may have been recorded against an incompatible space. Sessions are
+	// ranked once — one normalization pass for the whole lookup batch — and
+	// walked nearest-first, with dimension-incompatible sessions skipped
+	// before any per-trial work.
+	names := space.Names()
+	for _, at := range RankSessions(sessions, features) {
+		if len(sessions[at].ParamNames) != len(names) {
+			continue
 		}
 		if cfgs := TransferConfigs(sessions[at], space, k); len(cfgs) > 0 {
 			return cfgs
 		}
-		sessions = append(sessions[:at:at], sessions[at+1:]...)
 	}
 	return nil
 }

@@ -44,6 +44,42 @@ func TestNearestSessionTieBreaksDeterministically(t *testing.T) {
 	}
 }
 
+func TestRankSessionsOrdersNearestFirst(t *testing.T) {
+	sessions := []SessionRecord{
+		sessionWith("dbms", "mid", map[string]float64{"x": 5}),
+		sessionWith("dbms", "far", map[string]float64{"x": 10}),
+		sessionWith("dbms", "near", map[string]float64{"x": 1}),
+		sessionWith("dbms", "near-tie", map[string]float64{"x": 1}),
+	}
+	order := RankSessions(sessions, map[string]float64{"x": 1})
+	want := []int{2, 3, 0, 1} // distance then earliest-index tie-break
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("RankSessions = %v, want %v", order, want)
+	}
+	if RankSessions(nil, nil) != nil {
+		t.Error("empty sessions should rank to nil")
+	}
+}
+
+func TestWarmConfigsSkipsIncompatibleDimensions(t *testing.T) {
+	space := warmSpace()
+	// Nearest session has the wrong parameter count; the next-nearest
+	// compatible one must supply the transfer.
+	incompatible := SessionRecord{
+		System: "dbms", Workload: "threeknob",
+		ParamNames: []string{"a", "b", "c"},
+		Features:   map[string]float64{"x": 1},
+		Trials:     []TrialRecord{{Vector: []float64{0.5, 0.5, 0.5}, Time: 1}},
+	}
+	compatible := sessionWith("dbms", "tpch", map[string]float64{"x": 2},
+		TrialRecord{Vector: []float64{0.4, 0.4}, Time: 10})
+	repo := &Repository{Sessions: []SessionRecord{incompatible, compatible}}
+	got := WarmConfigs(repo, "dbms", map[string]float64{"x": 1}, space, 2)
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Vector(), []float64{0.4, 0.4}) {
+		t.Fatalf("WarmConfigs = %v, want the compatible session's config", got)
+	}
+}
+
 func TestTransferConfigs(t *testing.T) {
 	space := warmSpace()
 	rec := sessionWith("dbms", "tpch", nil,

@@ -335,6 +335,11 @@ type ITuned struct {
 	// any worker count, but streams recorded under different settings
 	// are not comparable to each other.
 	ReoptimizeEvery int
+	// Surrogate selects the GP surrogate tier and its switch-over
+	// thresholds (nil = auto with defaults). Below the sparse threshold the
+	// exact tier runs the historical code path, so event streams recorded
+	// without a surrogate config stay byte-identical.
+	Surrogate *tune.SurrogateConfig
 }
 
 // NewITuned returns an iTuned tuner with defaults.

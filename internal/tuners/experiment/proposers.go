@@ -96,6 +96,7 @@ type itunedProposer struct {
 	space *tune.Space
 	rng   *rand.Rand
 	batch int
+	sel   *tune.SurrogateSelector
 
 	pending   []tune.Config
 	xs        [][]float64
@@ -103,7 +104,7 @@ type itunedProposer struct {
 	bestX     []float64
 	incumbent float64
 
-	model    *gp.GP
+	model    gp.Surrogate
 	absorbed int // observations the model has conditioned on
 	round    int // GP rounds run
 	scores   []float64
@@ -123,9 +124,13 @@ func batchPenalty(x []float64, chosen [][]float64) float64 {
 	return pen
 }
 
-// ensureModel brings the GP in sync with the observed history: a full
+// ensureModel brings the surrogate in sync with the observed history: a full
 // hyperparameter-searched refit on re-optimization rounds, an incremental
 // append otherwise. Reports false when fitting failed (degenerate surface).
+// The surrogate tier is resolved per re-optimization round from the observed
+// history size — sessions grow exact → sparse → RFF as trials accumulate —
+// while below the sparse threshold the selector hands back exactly the
+// historical gp.New path, keeping existing event streams byte-identical.
 func (p *itunedProposer) ensureModel() bool {
 	every := p.t.ReoptimizeEvery
 	if every < 1 {
@@ -134,8 +139,13 @@ func (p *itunedProposer) ensureModel() bool {
 	reopt := p.model == nil || p.round%every == 0
 	p.round++
 	if reopt {
-		m := gp.New(p.t.Kernel)
-		if err := m.Fit(p.xs, p.ys, len(p.xs) <= 60); err != nil {
+		tier := p.sel.TierFor(len(p.xs), p.space.Dim())
+		m := p.sel.New(p.t.Kernel, tier, p.t.Seed)
+		// The sparse and RFF tiers select hyperparameters on an inducing
+		// subset — O(m³) — so they can afford the search at every size; the
+		// exact tier keeps its historical n ≤ 60 optimize rule bit-for-bit.
+		optimize := len(p.xs) <= 60 || tier != tune.SurrogateExact
+		if err := m.Fit(p.xs, p.ys, optimize); err != nil {
 			p.model = nil
 			return false
 		}
@@ -170,7 +180,10 @@ func (t *ITuned) NewProposer(target tune.Target, b tune.Budget) (tune.Proposer, 
 	if batch <= 0 {
 		batch = 4
 	}
-	p := &itunedProposer{t: t, space: space, rng: rng, batch: batch, incumbent: math.Inf(1)}
+	p := &itunedProposer{
+		t: t, space: space, rng: rng, batch: batch, incumbent: math.Inf(1),
+		sel: tune.NewSurrogateSelector(t.Surrogate),
+	}
 	for _, x := range sample.LatinHypercube(initN, d, rng) {
 		p.pending = append(p.pending, space.FromVector(x))
 	}

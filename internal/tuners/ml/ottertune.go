@@ -49,6 +49,11 @@ type OtterTune struct {
 	// hyperparameters). 0 or 1 (the default) refits with hyperparameter
 	// search every round.
 	ReoptimizeEvery int
+	// Surrogate selects the GP surrogate tier and its switch-over
+	// thresholds (nil = auto with defaults). The mapped workload's
+	// observations count toward the tier decision: a large transferred
+	// corpus pushes the model into the sparse or RFF tier immediately.
+	Surrogate *tune.SurrogateConfig
 
 	// LastKnobRanking records the most recent Lasso knob ranking.
 	LastKnobRanking []string

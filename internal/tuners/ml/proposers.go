@@ -29,6 +29,7 @@ type otProposer struct {
 	space *tune.Space
 	rng   *rand.Rand
 	batch int
+	sel   *tune.SurrogateSelector
 
 	sessions []tune.SessionRecord
 	pruned   []string
@@ -45,7 +46,7 @@ type otProposer struct {
 	bestX       []float64
 	incumbent   float64
 
-	model    *gp.GP
+	model    gp.Surrogate
 	absorbed int // target observations the model has conditioned on
 	round    int // GP rounds run
 	scores   []float64
@@ -87,8 +88,13 @@ func (p *otProposer) ensureModel() bool {
 	if reopt {
 		gx := append(append([][]float64(nil), p.mappedX...), p.xs...)
 		gy := append(append([]float64(nil), p.mappedY...), p.ys...)
-		m := gp.New(gp.Matern52)
-		if err := m.Fit(gx, gy, len(gx) <= 80); err != nil {
+		// The transferred corpus counts toward the tier decision: mapping a
+		// thousand-trial repository session pushes the model straight into
+		// the sparse or RFF tier instead of an O(n³) exact fit.
+		tier := p.sel.TierFor(len(gx), p.space.Dim())
+		m := p.sel.New(gp.Matern52, tier, p.t.Seed)
+		optimize := len(gx) <= 80 || tier != tune.SurrogateExact
+		if err := m.Fit(gx, gy, optimize); err != nil {
 			p.model = nil
 			return false
 		}
@@ -144,6 +150,7 @@ func (t *OtterTune) NewProposer(target tune.Target, b tune.Budget) (tune.Propose
 	}
 	p := &otProposer{
 		t: t, space: space, rng: rng, batch: batch,
+		sel:      tune.NewSurrogateSelector(t.Surrogate),
 		sessions: sessions, pruned: pruned, active: active, topK: topK,
 		observed: map[string]float64{}, incumbent: math.Inf(1),
 	}

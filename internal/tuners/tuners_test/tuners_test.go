@@ -360,6 +360,119 @@ func TestGoldenDeterminismCorpus(t *testing.T) {
 	}
 }
 
+// TestGoldenSurrogateBelowThresholdBitIdentical pins the surrogate tier's
+// compatibility guarantee: a session that carries a surrogate config but
+// stays below the sparse threshold must produce an event stream
+// byte-identical to the same spec with no surrogate config at all — the
+// exact tier below threshold IS the historical code path, not a lookalike.
+func TestGoldenSurrogateBelowThresholdBitIdentical(t *testing.T) {
+	stream := func(spec repro.Spec) []string {
+		t.Helper()
+		eng := repro.NewEngine(repro.EngineOptions{Workers: spec.Parallel})
+		run, err := repro.StartOn(context.Background(), eng, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []string
+		for ev := range run.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, string(data))
+		}
+		if _, err := run.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	for _, tuner := range []string{"ituned", "ottertune"} {
+		t.Run(tuner, func(t *testing.T) {
+			base := repro.Spec{
+				System: "dbms", Workload: "tpch", Tuner: tuner,
+				Seed: 11, Budget: repro.Budget{Trials: 8},
+				Target: repro.TargetOptions{ScaleGB: 2}, Parallel: 1,
+			}
+			withCfg := base
+			withCfg.Surrogate = &repro.SurrogateSpec{} // auto, default thresholds
+			plain := stream(base)
+			configured := stream(withCfg)
+			if len(plain) == 0 {
+				t.Fatal("no events streamed")
+			}
+			if len(plain) != len(configured) {
+				t.Fatalf("event counts differ: %d vs %d", len(plain), len(configured))
+			}
+			for i := range plain {
+				if plain[i] != configured[i] {
+					t.Fatalf("event %d differs with surrogate config present:\n  none: %s\n  auto: %s",
+						i, plain[i], configured[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSurrogateAboveThresholdDeterministic runs sessions that cross
+// into the sparse and RFF tiers (tiny thresholds / forced tier) and requires
+// the event stream to stay byte-identical at -parallel 1 vs 4 — the
+// determinism contract extends past the exact-GP wall.
+func TestGoldenSurrogateAboveThresholdDeterministic(t *testing.T) {
+	stream := func(spec repro.Spec, parallel int) []string {
+		t.Helper()
+		spec.Parallel = parallel
+		eng := repro.NewEngine(repro.EngineOptions{Workers: parallel})
+		run, err := repro.StartOn(context.Background(), eng, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []string
+		for ev := range run.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, string(data))
+		}
+		if _, err := run.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	configs := []struct {
+		name string
+		cfg  *repro.SurrogateSpec
+	}{
+		{"sparse", &repro.SurrogateSpec{SparseAbove: 8, RFFAbove: 1500, Inducing: 8}},
+		{"rff", &repro.SurrogateSpec{Tier: "rff", Features: 64}},
+	}
+	for _, tuner := range []string{"ituned", "ottertune"} {
+		for _, tc := range configs {
+			t.Run(tuner+"/"+tc.name, func(t *testing.T) {
+				spec := repro.Spec{
+					System: "dbms", Workload: "tpch", Tuner: tuner,
+					Seed: 11, Budget: repro.Budget{Trials: 20},
+					Target:    repro.TargetOptions{ScaleGB: 2},
+					Surrogate: tc.cfg,
+				}
+				seq := stream(spec, 1)
+				par := stream(spec, 4)
+				if len(seq) == 0 {
+					t.Fatal("no events streamed")
+				}
+				if len(seq) != len(par) {
+					t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+				}
+				for i := range seq {
+					if seq[i] != par[i] {
+						t.Fatalf("event %d differs across parallelism:\n  p1: %s\n  p4: %s", i, seq[i], par[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestGoldenDeterminismFidelity extends the corpus to multi-fidelity
 // sessions: for each fidelity strategy over representative inner tuners,
 // the entire marshaled event stream — TrialStarted fidelities, TrialDone

@@ -60,6 +60,9 @@ type TunerOptions struct {
 	TargetName string
 	// Proxy is the scaled replica required by the "scaled-proxy" tuner.
 	Proxy Target
+	// Surrogate selects the GP surrogate tier for the model-based tuners
+	// (ituned, ottertune); nil means auto with default thresholds.
+	Surrogate *SurrogateSpec
 }
 
 // TargetFactory builds targets for one registered system.
@@ -356,10 +359,14 @@ var builtinTuners = []builtinTuner{
 		return experiment.NewAdaptiveSampling(o.Seed), nil
 	}},
 	{"ituned", "experiment-driven", "LHS + Gaussian process + EI (Duan et al.)", func(o TunerOptions) (Tuner, error) {
-		return experiment.NewITuned(o.Seed), nil
+		t := experiment.NewITuned(o.Seed)
+		t.Surrogate = o.Surrogate
+		return t, nil
 	}},
 	{"ottertune", "machine learning", "metric pruning + Lasso + workload mapping + GP (Van Aken et al.)", func(o TunerOptions) (Tuner, error) {
-		return ml.NewOtterTune(o.Seed, o.Repo), nil
+		t := ml.NewOtterTune(o.Seed, o.Repo)
+		t.Surrogate = o.Surrogate
+		return t, nil
 	}},
 	{"neural", "machine learning", "MLP surrogate search (Rodd & Kulkarni)", func(o TunerOptions) (Tuner, error) {
 		return ml.NewNeuralTuner(o.Seed), nil

@@ -1,39 +1,27 @@
 #!/usr/bin/env bash
 # bench.sh — record the repository's headline performance numbers.
 #
-# Runs the benchmarks the perf trajectory is tracked by (GP fitting and
-# appending, the Table-1 harness, the GP-kernel ablation) and writes a JSON
-# file (default BENCH_pr3.json) with three sections: current ns/op, the
-# pre-PR3 baseline (embedded below so regeneration never loses the record),
-# and the speedup of current over baseline where both exist.
+# Runs the surrogate-scaling benchmarks (exact/sparse/RFF fit cost, GP fit
+# and append versus training size, serial vs blocked-parallel Cholesky) and
+# writes a JSON file (default BENCH_pr6.json) with the raw ns/op plus two
+# derived sections: "surrogate_speedup" (sparse and RFF fit over the exact
+# GP at the same n — the tentpole claim is sparse ≥ 5× at n=500) and
+# "blocked_cholesky" (parallel over serial at the same n; on a 1-CPU host
+# this records scheduling overhead and the multi-core claim is the
+# critical-path estimate in DESIGN.md §12).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=10x scripts/bench.sh     # more reps for quieter numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-5x}"
 
-# ns/op measured at the pre-PR3 tree (benchtime 5x, same host class);
-# BenchmarkGPAppend did not exist before PR 3.
-baseline='BenchmarkTable1 260176982
-BenchmarkAblationGPKernel/matern52 4927406
-BenchmarkAblationGPKernel/sqexp 5171192
-BenchmarkGPFit/n=20 1515498
-BenchmarkGPFit/n=40 5216130
-BenchmarkGPFit/n=60 14859040'
-
-raw=$(go test -run '^$' -bench 'BenchmarkGPFit|BenchmarkGPAppend|BenchmarkTable1$|BenchmarkAblationGPKernel' -benchtime "$benchtime" .)
+raw=$(go test -run '^$' -bench 'BenchmarkGPFit|BenchmarkGPAppend|BenchmarkSurrogateFit|BenchmarkBlockedCholesky' -benchtime "$benchtime" .)
 printf '%s\n' "$raw" >&2
 
-{
-  printf '%s\n' "$raw"
-  printf 'BASELINE\n'
-  printf '%s\n' "$baseline"
-} | awk -v benchtime="$benchtime" '
-  /^BASELINE$/ { inBase = 1; next }
-  inBase       { base[$1] = $2; order[nb++] = $1; next }
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v ncpu="$(nproc)" '
   /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
@@ -43,20 +31,36 @@ printf '%s\n' "$raw" >&2
   END {
     printf "{\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpus\": %d,\n", ncpu
     printf "  \"ns_per_op\": {\n"
     for (i = 0; i < nc; i++)
       printf "    \"%s\": %s%s\n", curOrder[i], cur[curOrder[i]], i < nc-1 ? "," : ""
     printf "  },\n"
-    printf "  \"baseline_ns_per_op\": {\n"
-    for (i = 0; i < nb; i++)
-      printf "    \"%s\": %s%s\n", order[i], base[order[i]], i < nb-1 ? "," : ""
-    printf "  },\n"
-    printf "  \"speedup\": {\n"
+    printf "  \"surrogate_speedup\": {\n"
+    split("200 500 2000", sizes, " ")
     sep = ""
-    for (i = 0; i < nb; i++) {
-      n = order[i]
-      if (n in cur && cur[n] > 0) {
-        printf "%s    \"%s\": %.2f", sep, n, base[n] / cur[n]
+    for (s = 1; s <= 3; s++) {
+      n = sizes[s]
+      exact = cur["BenchmarkSurrogateFit/tier=exact/n=" n]
+      for (t = 1; t <= 2; t++) {
+        tier = t == 1 ? "sparse" : "rff"
+        v = cur["BenchmarkSurrogateFit/tier=" tier "/n=" n]
+        if (exact > 0 && v > 0) {
+          printf "%s    \"%s/n=%s\": %.2f", sep, tier, n, exact / v
+          sep = ",\n"
+        }
+      }
+    }
+    printf "\n  },\n"
+    printf "  \"blocked_cholesky\": {\n"
+    split("256 512", cn, " ")
+    sep = ""
+    for (s = 1; s <= 2; s++) {
+      n = cn[s]
+      serial = cur["BenchmarkBlockedCholesky/serial/n=" n]
+      par = cur["BenchmarkBlockedCholesky/parallel/n=" n]
+      if (serial > 0 && par > 0) {
+        printf "%s    \"parallel_speedup/n=%s\": %.2f", sep, n, serial / par
         sep = ",\n"
       }
     }

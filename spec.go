@@ -59,6 +59,14 @@ type Spec struct {
 	// early-stopped trials). It requires an ask/tell tuner and a target
 	// with a fidelity-aware evaluation path.
 	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
+	// Surrogate selects the GP surrogate tier for the model-based tuners
+	// (ituned, ottertune) and the trial-count thresholds at which a session
+	// switches exact → sparse → RFF. nil means auto with default
+	// thresholds; below the sparse threshold the exact tier runs the
+	// historical code path, so sessions recorded without this field replay
+	// byte-identically. Carried on the wire form so a recorded spec pins
+	// its tier schedule.
+	Surrogate *SurrogateSpec `json:"surrogate,omitempty"`
 }
 
 // FidelitySpec configures multi-fidelity tuning for a session (see
@@ -165,6 +173,9 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if err := s.Surrogate.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -188,7 +199,7 @@ func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error
 	if err != nil {
 		return Job{}, err
 	}
-	topt := TunerOptions{Seed: s.Seed, Repo: repo, TargetName: target.Name()}
+	topt := TunerOptions{Seed: s.Seed, Repo: repo, TargetName: target.Name(), Surrogate: s.Surrogate}
 	if s.Proxy != nil {
 		po := s.Target
 		po.ScaleGB = s.Proxy.ScaleGB
