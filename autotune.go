@@ -80,7 +80,21 @@ type (
 	Run = engine.Run
 	// RunState describes where a Run is in its lifecycle.
 	RunState = engine.RunState
+	// RemoteBackend is an evaluator fleet's engine-facing surface: extra
+	// trial-evaluation slots behind an RPC boundary (internal/dist.Pool
+	// implements it). Results are identical with or without one.
+	RemoteBackend = engine.RemoteBackend
+	// EvaluationLostError reports a trial whose remote evaluation was lost
+	// (evaluator crashes, heartbeat timeouts) through every configured
+	// retry — infrastructure failure, distinguishable from an ordinary
+	// failed trial with errors.Is(err, ErrEvaluationLost).
+	EvaluationLostError = engine.EvaluationLostError
 )
+
+// ErrEvaluationLost matches (via errors.Is) session errors caused by remote
+// evaluations exhausting their retries, as opposed to ordinary trial
+// failures, which are recorded in the session rather than raised.
+var ErrEvaluationLost = engine.ErrEvaluationLost
 
 // The ordered event vocabulary emitted by a session, re-exported from the
 // core: for a fixed spec and seed the sequence is byte-identical at any

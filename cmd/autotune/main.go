@@ -8,6 +8,7 @@
 //	autotune -system dbms -workload tpch -tuner ituned -progress
 //	autotune -system dbms -workload mixed -tuner ituned -repo ./repo -warm-start
 //	autotune -system dbms -workload tpch -tuner ituned -fidelity hyperband
+//	autotune -system dbms -workload tpch -tuner ituned -evaluators http://host1:8081
 //	autotune -list
 //
 // -parallel N evaluates proposed trial batches on N workers; results are
@@ -17,7 +18,9 @@
 // repository-driven tuners and -warm-start's transfer) and this session is
 // archived back into it on success. -fidelity runs the budget as
 // successive-halving/Hyperband brackets: many cheap low-fidelity screens,
-// full-cost runs only for the promoted survivors.
+// full-cost runs only for the promoted survivors. -evaluators leases trial
+// evaluations to remote autotune-evaluator processes; the result is
+// byte-identical to local evaluation, only wall-clock changes.
 package main
 
 import (
@@ -26,8 +29,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	repro "repro"
+	"repro/internal/dist"
 	"repro/internal/tune"
 	"repro/internal/tune/store"
 )
@@ -56,6 +61,7 @@ func main() {
 		surrogate = flag.String("surrogate", "", `GP surrogate tier for model-based tuners: "auto", "exact", "sparse", or "rff" (empty = auto)`)
 		spAbove   = flag.Int("sparse-above", 0, "trial count above which auto surrogate mode leaves the exact GP (0 = default 160)")
 		rffAbove  = flag.Int("rff-above", 0, "trial count above which auto surrogate mode switches to random Fourier features (0 = default 1500)")
+		evals     = flag.String("evaluators", "", "comma-separated base URLs of autotune-evaluator processes to lease trials to")
 	)
 	flag.Parse()
 
@@ -76,11 +82,24 @@ func main() {
 		return
 	}
 
-	target, err := repro.NewTarget(*system, *wl, *seed, repro.TargetOptions{
+	topts := repro.TargetOptions{
 		ScaleGB: *scale, Nodes: *nodes, Heterogeneous: *hetero, TenantLoad: *tenants,
-	})
+	}
+	target, err := repro.NewTarget(*system, *wl, *seed, topts)
 	if err != nil {
 		fatal(err)
+	}
+	var remote repro.RemoteBackend
+	if *evals != "" {
+		var urls []string
+		for _, u := range strings.Split(*evals, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		pool := dist.NewPool(urls, dist.PoolOptions{Name: "autotune"})
+		remote = pool.Backend(dist.SysModel{System: *system, Workload: *wl, Seed: *seed, Target: topts})
+		fmt.Printf("evaluator fleet: %d evaluators, %d remote slots\n", len(urls), pool.Slots())
 	}
 	def := target.Space().Default()
 	defRes := target.Run(def)
@@ -136,7 +155,7 @@ func main() {
 		}
 		tn = mf
 	}
-	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo})
+	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo, Remote: remote})
 	budget := tune.Budget{Trials: *trials}
 	var res *repro.TuningResult
 	if *progress {
@@ -144,7 +163,7 @@ func main() {
 		// then wait. Identical result to the blocking path below.
 		run := eng.Submit(repro.Job{
 			Name: target.Name() + "/" + tn.Name(), Tuner: tn, Target: target,
-			Budget: budget, Parallel: *parallel,
+			Budget: budget, Parallel: *parallel, Remote: remote,
 		})
 		best, simUsed := math.Inf(1), 0.0
 		shown := false

@@ -6,6 +6,12 @@
 //
 //	autotuned -addr :8080 -workers 4
 //	autotuned -addr :8080 -repo /var/lib/autotuned   # durable repository
+//	autotuned -addr :8080 -evaluators http://host1:8081,http://host2:8081
+//
+// With -evaluators the daemon leases trial evaluations to the named
+// autotune-evaluator processes (more can register at runtime via POST
+// /evaluators); event streams and results stay byte-identical to local
+// evaluation, only wall-clock and fault exposure change.
 //
 // With -repo the daemon archives every completed session into the named
 // directory, serves the corpus under /repository/sessions, survives
@@ -30,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,10 +49,11 @@ func main() {
 		workers = flag.Int("workers", 0, "max concurrently running sessions (0 = all cores)")
 		memo    = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
 		repoDir = flag.String("repo", "", "durable tuning-repository directory (archives completed sessions; enables warm_start)")
+		evals   = flag.String("evaluators", "", "comma-separated base URLs of autotune-evaluator processes to lease trials to")
 	)
 	flag.Parse()
 
-	d, err := daemon.New(daemon.Options{Workers: *workers, Memo: *memo, RepoDir: *repoDir})
+	d, err := daemon.New(daemon.Options{Workers: *workers, Memo: *memo, RepoDir: *repoDir, Evaluators: splitURLs(*evals)})
 	if err != nil {
 		fatal(err)
 	}
@@ -76,4 +84,15 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "autotuned:", err)
 	os.Exit(1)
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty entries.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

@@ -16,7 +16,15 @@
 //	DELETE /sessions/{id}         stop a live session (it fails with a
 //	                              cancellation error); delete a finished
 //	                              one, releasing its event log
-//	GET    /healthz               liveness probe
+//	GET    /healthz               liveness probe with session, repository,
+//	                              and evaluator-fleet summaries
+//
+// With remote evaluators (Options.Evaluators, or registered at runtime) the
+// daemon leases trial evaluations to an autotune-evaluator fleet through
+// internal/dist — byte-identical event streams, distributed wall-clock:
+//
+//	GET    /evaluators            fleet health (per-evaluator routing state)
+//	POST   /evaluators            register an evaluator: {"url": ...}
 //
 // With a repository directory (Options.RepoDir) the daemon is restartable
 // state, not a stateless toy: every completed session is archived durably,
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/dist"
 	"repro/internal/tune"
 	"repro/internal/tune/store"
 )
@@ -54,12 +63,17 @@ type Options struct {
 	// (internal/tune/store layout). Completed sessions are archived there
 	// and warm-started sessions transfer from it.
 	RepoDir string
+	// Evaluators are base URLs of autotune-evaluator processes whose worker
+	// slots join every session's trial evaluation. More can be registered at
+	// runtime via POST /evaluators; with none, sessions evaluate locally.
+	Evaluators []string
 }
 
 // Server owns the engine, the session table, and the durable repository.
 type Server struct {
 	eng  *repro.Engine
 	repo store.Store // nil without a RepoDir
+	pool *dist.Pool  // always non-nil; empty without evaluators
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -84,6 +98,7 @@ type session struct {
 func New(o Options) (*Server, error) {
 	s := &Server{
 		eng:      repro.NewEngine(repro.EngineOptions{Workers: o.Workers, Cache: o.Memo}),
+		pool:     dist.NewPool(o.Evaluators, dist.PoolOptions{Name: "autotuned"}),
 		sessions: map[string]*session{},
 	}
 	if o.RepoDir != "" {
@@ -108,9 +123,9 @@ func (s *Server) Close() error {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /evaluators", s.evaluators)
+	mux.HandleFunc("POST /evaluators", s.addEvaluator)
 	mux.HandleFunc("POST /sessions", s.create)
 	mux.HandleFunc("GET /sessions", s.list)
 	mux.HandleFunc("GET /sessions/{id}", s.get)
@@ -135,6 +150,103 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// healthz is the liveness probe, enriched with operational summaries: the
+// session table by state, the repository, and the evaluator fleet.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	type sessionSummary struct {
+		Total   int `json:"total"`
+		Pending int `json:"pending"`
+		Running int `json:"running"`
+		Paused  int `json:"paused"`
+		Done    int `json:"done"`
+		Failed  int `json:"failed"`
+	}
+	type repoSummaryz struct {
+		Enabled  bool `json:"enabled"`
+		Sessions int  `json:"sessions,omitempty"`
+	}
+	type fleetSummary struct {
+		Configured int   `json:"configured"`
+		Healthy    int   `json:"healthy"`
+		InFlight   int64 `json:"in_flight"`
+		Retries    int64 `json:"retries"`
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	var sums sessionSummary
+	sums.Total = len(sessions)
+	for _, sess := range sessions {
+		switch sess.Run.State() {
+		case repro.RunPending:
+			sums.Pending++
+		case repro.RunRunning:
+			sums.Running++
+		case repro.RunPaused:
+			sums.Paused++
+		case repro.RunDone:
+			sums.Done++
+		case repro.RunFailed:
+			sums.Failed++
+		}
+	}
+	repo := repoSummaryz{Enabled: s.repo != nil}
+	if s.repo != nil {
+		repo.Sessions = len(s.repo.Sessions())
+	}
+	var fleet fleetSummary
+	for _, h := range s.pool.Health(r.Context()) {
+		fleet.Configured++
+		if h.Healthy {
+			fleet.Healthy++
+		}
+		fleet.InFlight += h.InFlight
+	}
+	fleet.Retries = s.pool.Retries()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"sessions":   sums,
+		"repository": repo,
+		"evaluators": fleet,
+	})
+}
+
+// evaluators reports the fleet's per-evaluator routing state, probing each
+// evaluator's own health endpoint.
+func (s *Server) evaluators(w http.ResponseWriter, r *http.Request) {
+	health := s.pool.Health(r.Context())
+	if health == nil {
+		health = []dist.RemoteHealth{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"evaluators": health,
+		"retries":    s.pool.Retries(),
+	})
+}
+
+// addEvaluator registers one evaluator at runtime. Its slots join every
+// session's evaluation at the next trial batch.
+func (s *Server) addEvaluator(w http.ResponseWriter, r *http.Request) {
+	var in struct {
+		URL string `json:"url"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding evaluator registration: %w", err))
+		return
+	}
+	if in.URL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("evaluator registration needs a url"))
+		return
+	}
+	s.pool.Add(in.URL)
+	writeJSON(w, http.StatusCreated, map[string]any{"url": in.URL, "slots": s.pool.Slots()})
 }
 
 func (s *Server) lookup(r *http.Request) (*session, error) {
@@ -185,6 +297,15 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Every job carries the fleet backend bound to its own sysmodel. With an
+	// empty fleet the backend advertises zero slots and the engine evaluates
+	// locally; evaluators registered mid-session join at the next batch.
+	job.Remote = s.pool.Backend(dist.SysModel{
+		System:   spec.System,
+		Workload: spec.Workload,
+		Seed:     spec.Seed,
+		Target:   spec.Target,
+	})
 	// The session outlives the HTTP request by design; its lifetime is
 	// managed through DELETE, not the request context.
 	run := s.eng.SubmitContext(context.Background(), job)

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzAssignmentWire feeds arbitrary JSON at the evaluator RPC wire forms
+// and asserts two properties for anything that decodes at all:
+//
+//  1. Round-trip fixpoint: decode → encode → decode reproduces the same
+//     value and the same bytes, so an assignment means the same trial on
+//     both sides of the boundary (and to an evaluator from a different
+//     build, as long as the wire form is unchanged).
+//  2. Validate stability: Validate answers identically before and after a
+//     round trip — a coordinator cannot emit an assignment the evaluator
+//     rejects, nor vice versa.
+func FuzzAssignmentWire(f *testing.F) {
+	f.Add(`{"id":"coordinator/run-3/try-0","run_index":3,"config":[0.5,0.25,1],`+
+		`"sysmodel":{"system":"dbms","workload":"tpch","seed":42}}`, true)
+	f.Add(`{"run_index":0,"fidelity":0.111,"config":[],`+
+		`"sysmodel":{"system":"spark","workload":"kmeans","seed":7,`+
+		`"target":{"scale_gb":2,"nodes":8}}}`, true)
+	f.Add(`{"run_index":-1,"config":[0.5],"sysmodel":{"system":"","workload":""}}`, true)
+	f.Add(`{}`, true)
+	f.Add(`{"id":"x","run_index":9,"result":{"time":12.5,"metrics":{"spills":3}}}`, false)
+	f.Add(`{"run_index":2,"result":{"time":4,"failed":true,"fail_reason":"oom"},`+
+		`"error":"dist: config has 2 coordinates, target space has 5"}`, false)
+	f.Add(`{"run_index":1,"result":{"time":0.25,"fidelity":0.333}}`, false)
+	f.Fuzz(func(t *testing.T, data string, assignment bool) {
+		if assignment {
+			var a TrialAssignment
+			if err := json.Unmarshal([]byte(data), &a); err != nil {
+				return // not an assignment; nothing to round-trip
+			}
+			if badFloat(a.Fidelity) || anyBadFloat(a.Config) {
+				return // JSON cannot carry NaN/Inf; such values never originate here
+			}
+			roundTrip(t, a, func(x TrialAssignment) error { return x.Validate() })
+			return
+		}
+		var c TrialCompletion
+		if err := json.Unmarshal([]byte(data), &c); err != nil {
+			return
+		}
+		if badFloat(c.Result.Time) || badFloat(c.Result.Cost) || badFloat(c.Result.Fidelity) {
+			return
+		}
+		for _, v := range c.Result.Metrics {
+			if badFloat(v) {
+				return
+			}
+		}
+		roundTrip(t, c, func(x TrialCompletion) error { return x.Validate() })
+	})
+}
+
+// roundTrip asserts the fixpoint and Validate-stability properties for one
+// decoded wire value. One encode normalizes presentation (omitempty folds
+// zero fields away, case-insensitive field matches canonicalize); from then
+// on the cycle must be exact.
+func roundTrip[T any](t *testing.T, v T, validate func(T) error) {
+	t.Helper()
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("decoded value does not re-encode: %v", err)
+	}
+	var v2 T
+	if err := json.Unmarshal(out, &v2); err != nil {
+		t.Fatalf("re-encoded value does not decode: %v\n%s", err, out)
+	}
+	out2, err := json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Fatalf("encoding is not a fixpoint:\n  %s\n  %s", out, out2)
+	}
+	var v3 T
+	if err := json.Unmarshal(out2, &v3); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v2, v3) {
+		t.Fatalf("round trip did not stabilize:\n  second: %+v\n  third:  %+v", v2, v3)
+	}
+	for _, w := range []T{v2, v3} {
+		errA, errB := validate(v), validate(w)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("Validate not stable across the wire: %v vs %v", errA, errB)
+		}
+		if errA != nil && errA.Error() != errB.Error() {
+			t.Fatalf("Validate verdicts diverge across the wire:\n  %v\n  %v", errA, errB)
+		}
+	}
+}
+
+func badFloat(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+func anyBadFloat(vs []float64) bool {
+	for _, v := range vs {
+		if badFloat(v) {
+			return true
+		}
+	}
+	return false
+}

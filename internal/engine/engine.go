@@ -20,6 +20,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"strconv"
@@ -44,12 +45,20 @@ type Options struct {
 	// (e.g. multi-probe trace capture) — without the cache the engine
 	// reproduces the blocking facade exactly.
 	Cache bool
+	// Remote, when non-nil, adds a remote evaluator fleet's slots to every
+	// batch fan-out of Tune/Drive/DriveFidelity. The backend is bound to
+	// one target's sysmodel, so it applies to direct single-session calls
+	// only; submitted jobs carry their own Job.Remote and never inherit
+	// this one (a fleet backend built for one target would silently
+	// evaluate another job's trials against the wrong system).
+	Remote RemoteBackend
 }
 
 // Engine evaluates tuning sessions concurrently.
 type Engine struct {
 	workers int
 	cache   bool
+	remote  RemoteBackend // nil: all evaluation is local
 	sem     chan struct{} // scheduler slots for Submit/RunJobs
 }
 
@@ -59,7 +68,7 @@ func New(o Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, cache: o.Cache, sem: make(chan struct{}, w)}
+	return &Engine{workers: w, cache: o.Cache, remote: o.Remote, sem: make(chan struct{}, w)}
 }
 
 // Workers returns the configured parallelism.
@@ -115,7 +124,7 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 	// seed-sensitive comparisons only after trial-bounded sessions.
 	chunk := int(^uint(0) >> 1)
 	if b.SimTime > 0 {
-		chunk = e.workers
+		chunk = e.workers + remoteSlots(e.remote)
 	}
 	for !s.Exhausted() {
 		gate()
@@ -137,7 +146,10 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 				end = len(cfgs)
 			}
 			part := cfgs[off:end]
-			results := ev.runBatch(ctx, part)
+			results, err := ev.runBatch(ctx, part)
+			if err != nil {
+				return nil, err
+			}
 			for i := range part {
 				if s.Exhausted() {
 					stopped = true
@@ -168,6 +180,7 @@ type evaluator struct {
 	target  tune.Target
 	ct      tune.ConcurrentTarget // nil: evaluate sequentially
 	workers int
+	remote  RemoteBackend          // nil: all evaluation local
 	cache   map[string]tune.Result // nil: cache disabled
 }
 
@@ -175,6 +188,11 @@ func (e *Engine) newEvaluator(target tune.Target) *evaluator {
 	ev := &evaluator{target: target, workers: e.workers}
 	if ct, ok := target.(tune.ConcurrentTarget); ok {
 		ev.ct = ct
+		// Remote dispatch rides on run-index reservation: without an
+		// index-keyed noise stream the assignment could not name which
+		// draw of the target's noise it evaluates, so plain targets stay
+		// local and sequential.
+		ev.remote = e.remote
 	}
 	if e.cache {
 		ev.cache = make(map[string]tune.Result)
@@ -185,8 +203,12 @@ func (e *Engine) newEvaluator(target tune.Target) *evaluator {
 // runBatch evaluates cfgs and returns results aligned with them. Cache
 // lookups, duplicate folding, and run-index reservation all happen here on
 // the caller's goroutine, in batch order, so the outcome is independent of
-// worker scheduling.
-func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Result {
+// worker scheduling — local and remote slots pull from one shared queue,
+// and because every evaluation is pure in (seed, index, config) it does not
+// matter which executor ran which trial. A remote evaluation lost beyond
+// recovery aborts the batch with its error (the session fails; infra loss
+// is not a recordable trial outcome).
+func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) ([]tune.Result, error) {
 	results := make([]tune.Result, len(cfgs))
 	type job struct {
 		pos int
@@ -216,6 +238,7 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Re
 		jobs = append(jobs, job{pos: i})
 	}
 
+	var evalErr error
 	if len(jobs) > 0 {
 		if ev.ct != nil {
 			start := ev.ct.ReserveRuns(int64(len(jobs)))
@@ -226,6 +249,7 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Re
 			if workers > len(jobs) {
 				workers = len(jobs)
 			}
+			errs := make([]error, len(cfgs))
 			var wg sync.WaitGroup
 			next := make(chan job, len(jobs))
 			for _, j := range jobs {
@@ -244,7 +268,33 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Re
 					}
 				}()
 			}
+			// Remote fleet slots drain the same queue as the local workers.
+			for w := 0; w < remoteSlots(ev.remote); w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := range next {
+						if ctx.Err() != nil {
+							continue
+						}
+						res, err := ev.remote.Evaluate(ctx, j.idx, 0, cfgs[j.pos])
+						if err != nil {
+							if ctx.Err() == nil {
+								errs[j.pos] = err
+							}
+							continue
+						}
+						results[j.pos] = res
+					}
+				}()
+			}
 			wg.Wait()
+			for _, err := range errs {
+				if err != nil && ctx.Err() == nil {
+					evalErr = fmt.Errorf("engine: remote evaluation: %w", err)
+					break
+				}
+			}
 		} else {
 			// No index-keyed noise stream: parallel evaluation would tie
 			// results to worker scheduling, so stay sequential.
@@ -256,6 +306,9 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Re
 			}
 		}
 	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
 
 	for i := range cfgs {
 		if dupOf[i] >= 0 {
@@ -264,7 +317,7 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) []tune.Re
 			ev.cache[keys[i]] = results[i]
 		}
 	}
-	return results
+	return results, nil
 }
 
 // configKey renders a configuration's exact unit-cube coordinates as a map

@@ -53,7 +53,11 @@ func (e *Engine) DriveFidelity(ctx context.Context, name string, target tune.Tar
 		if len(cands) > remaining {
 			cands = cands[:remaining]
 		}
-		if stopped := e.runRung(ctx, s, ft, fp, cands); stopped {
+		stopped, err := e.runRung(ctx, s, ft, fp, cands)
+		if err != nil {
+			return nil, err
+		}
+		if stopped {
 			break
 		}
 	}
@@ -76,16 +80,28 @@ func (e *Engine) DriveFidelity(ctx context.Context, name string, target tune.Tar
 // mid-batch cut leaves the eagerly reserved tail of run indices unrecorded,
 // so the target's counter may differ across worker counts after such a
 // session.
-func (e *Engine) runRung(ctx context.Context, s *tune.Session, ft tune.FidelityTarget, fp tune.FidelityProposer, cands []tune.Candidate) (stopped bool) {
+func (e *Engine) runRung(ctx context.Context, s *tune.Session, ft tune.FidelityTarget, fp tune.FidelityProposer, cands []tune.Candidate) (stopped bool, err error) {
 	rctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	var wg sync.WaitGroup
+	// The rung's promotion inputs are decided (or the session is over, or a
+	// lost remote evaluation aborted it): early-stop whatever is still
+	// executing — including outstanding remote leases, whose HTTP requests
+	// abort with rctx. wg.Wait is bounded by the FidelityTarget and
+	// RemoteBackend contracts — evaluations return promptly once their
+	// context is done — so a hanging or fault-injected low-fidelity path
+	// cannot wedge the scheduler or leak the run's slot.
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
 
 	var results []tune.Result
+	var errs []error
 	var done []chan struct{}
-	var wg sync.WaitGroup
 	cft, concurrent := ft.(tune.ConcurrentFidelityTarget)
-	if concurrent && e.workers > 1 {
+	if concurrent && (e.workers > 1 || remoteSlots(e.remote) > 0) {
 		results = make([]tune.Result, len(cands))
+		errs = make([]error, len(cands))
 		done = make([]chan struct{}, len(cands))
 		for i := range done {
 			done[i] = make(chan struct{})
@@ -116,12 +132,35 @@ func (e *Engine) runRung(ctx context.Context, s *tune.Session, ft tune.FidelityT
 				}
 			}()
 		}
+		// Remote fleet slots drain the same queue; which executor evaluated
+		// a candidate is invisible in the merged stream.
+		for w := 0; w < remoteSlots(e.remote); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if rctx.Err() == nil {
+						res, rerr := e.remote.Evaluate(rctx, start+int64(i), cands[i].Fidelity, cands[i].Config)
+						switch {
+						case rerr == nil:
+							results[i] = res
+						case rctx.Err() == nil:
+							errs[i] = rerr
+						}
+					}
+					close(done[i])
+				}
+			}()
+		}
 	}
 
 	for i, c := range cands {
 		var res tune.Result
 		if done != nil {
 			<-done[i]
+			if errs[i] != nil && rctx.Err() == nil {
+				return false, fmt.Errorf("engine: remote evaluation: %w", errs[i])
+			}
 			res = results[i]
 		} else {
 			if s.Exhausted() {
@@ -140,14 +179,7 @@ func (e *Engine) runRung(ctx context.Context, s *tune.Session, ft tune.FidelityT
 		fp.ObserveFidelity(s.RecordFidelity(c, res))
 		s.Prune(fp.PruneNotices()...)
 	}
-	// The rung's promotion inputs are decided (or the session is over):
-	// early-stop whatever is still executing. wg.Wait is bounded by the
-	// FidelityTarget contract — evaluations return promptly once their
-	// context is done — so a hanging or fault-injected low-fidelity path
-	// cannot wedge the scheduler or leak the run's slot.
-	cancel()
-	wg.Wait()
-	return stopped
+	return stopped, nil
 }
 
 // evalIndexed runs one candidate with an explicitly reserved run index.

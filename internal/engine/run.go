@@ -105,7 +105,10 @@ func (r *Run) run(e *Engine, record bool) {
 	if workers < 1 {
 		workers = 1
 	}
-	sub := &Engine{workers: workers, cache: e.cache || r.job.Memo, sem: make(chan struct{}, workers)}
+	// Deliberately job.Remote only — never the engine's: an engine-level
+	// backend is bound to one target's sysmodel and would evaluate other
+	// jobs' trials against the wrong system.
+	sub := &Engine{workers: workers, cache: e.cache || r.job.Memo, remote: r.job.Remote, sem: make(chan struct{}, workers)}
 	ctx := r.ctx
 	if record {
 		ctx = tune.WithMonitor(ctx, &tune.Monitor{OnEvent: r.observe, Gate: r.gate})

@@ -22,6 +22,12 @@ type Job struct {
 	// Memo opts this job into the config-keyed result memo cache even
 	// when the engine's cache is off.
 	Memo bool
+	// Remote, when non-nil, adds a remote evaluator fleet's slots to this
+	// job's trial evaluation. The backend must be bound to this job's
+	// target sysmodel (dist.Pool.Backend); results are identical with or
+	// without it — remote evaluation is pure in (seed, run index, config) —
+	// so only wall-clock and fault exposure change.
+	Remote RemoteBackend
 	// System and Workload name the target for repository archival. When
 	// either is empty it is derived from Target.Name() ("dbms/tpch" →
 	// system "dbms", workload "tpch").

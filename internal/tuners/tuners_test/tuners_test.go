@@ -6,10 +6,13 @@ package tuners_test
 import (
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	repro "repro"
+	"repro/internal/dist"
 	"repro/internal/sysmodel/cluster"
 	"repro/internal/sysmodel/dbms"
 	"repro/internal/sysmodel/mapreduce"
@@ -611,6 +614,100 @@ func TestGoldenDeterminismWarmStart(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("warm-start event %d differs across parallelism:\n  p1: %s\n  p4: %s", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestGoldenMultiEvaluatorTopology extends the determinism corpus across
+// the process boundary: the same spec must produce a byte-identical event
+// stream evaluated locally at -parallel 1, fanned out to 4 local workers,
+// and leased to a two-evaluator remote fleet (each evaluator rebuilding the
+// target from the assignment's sysmodel over real HTTP). The fidelity
+// variant additionally pins TrialPruned ordering while rung cancellation is
+// aborting superfluous remote leases mid-flight.
+func TestGoldenMultiEvaluatorTopology(t *testing.T) {
+	newFleet := func(t *testing.T) *dist.Pool {
+		t.Helper()
+		var urls []string
+		for i := 0; i < 2; i++ {
+			ev := dist.NewEvaluator(dist.EvaluatorOptions{Workers: 2, HeartbeatEvery: 20 * time.Millisecond})
+			srv := httptest.NewServer(ev.Handler())
+			t.Cleanup(srv.Close)
+			urls = append(urls, srv.URL)
+		}
+		return dist.NewPool(urls, dist.PoolOptions{RetryBackoff: 5 * time.Millisecond})
+	}
+	stream := func(t *testing.T, spec repro.Spec, parallel int, pool *dist.Pool) []string {
+		t.Helper()
+		job, err := spec.Job()
+		if err != nil {
+			t.Fatal(err)
+		}
+		job.Parallel = parallel
+		if pool != nil {
+			job.Remote = pool.Backend(dist.SysModel{
+				System: spec.System, Workload: spec.Workload,
+				Seed: spec.Seed, Target: spec.Target,
+			})
+		}
+		run := repro.NewEngine(repro.EngineOptions{Workers: parallel}).Submit(job)
+		var events []string
+		for ev := range run.Events() {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, string(data))
+		}
+		if _, err := run.Wait(nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	for _, name := range []string{"ituned", "random"} {
+		for _, fidelity := range []bool{false, true} {
+			label := name
+			if fidelity {
+				label += "/hyperband"
+			}
+			t.Run(label, func(t *testing.T) {
+				spec := repro.Spec{
+					System: "dbms", Workload: "tpch", Tuner: name,
+					Seed: 11, Budget: repro.Budget{Trials: 8},
+					Target: repro.TargetOptions{ScaleGB: 2},
+				}
+				if fidelity {
+					spec.Budget.Trials = 16
+					spec.Fidelity = &repro.FidelitySpec{Strategy: "hyperband"}
+				}
+				local := stream(t, spec, 1, nil)
+				par := stream(t, spec, 4, nil)
+				fleet := stream(t, spec, 2, newFleet(t))
+				if len(local) == 0 {
+					t.Fatal("no events streamed")
+				}
+				if fidelity {
+					pruned := 0
+					for _, ev := range local {
+						if strings.Contains(ev, `"trial_pruned"`) {
+							pruned++
+						}
+					}
+					if pruned == 0 {
+						t.Fatal("fidelity variant never pruned a trial; rung-cancellation ordering not covered")
+					}
+				}
+				for label, got := range map[string][]string{"parallel-4": par, "fleet": fleet} {
+					if len(got) != len(local) {
+						t.Fatalf("%s: event counts differ: %d vs %d", label, len(local), len(got))
+					}
+					for i := range local {
+						if local[i] != got[i] {
+							t.Fatalf("%s: event %d differs:\n  local: %s\n  other: %s", label, i, local[i], got[i])
+						}
+					}
+				}
+			})
 		}
 	}
 }

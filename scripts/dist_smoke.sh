@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# dist_smoke.sh — end-to-end multi-process smoke for distributed evaluation.
+#
+# Launches two autotune-evaluator processes and runs the same fidelity
+# session twice over HTTP: once against a local-only autotuned, once against
+# an autotuned fronting the evaluator fleet. The two SSE event streams must
+# be byte-identical — the determinism contract says where a trial ran is
+# invisible in the recorded history — and the fleet must actually have
+# evaluated trials (completed > 0 on /evaluators).
+#
+# Usage: scripts/dist_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LOCAL_ADDR=127.0.0.1:8331
+FLEET_ADDR=127.0.0.1:8332
+EV1_ADDR=127.0.0.1:8333
+EV2_ADDR=127.0.0.1:8334
+SPEC='{"system":"dbms","workload":"tpch","tuner":"ituned","seed":42,"budget":{"trials":16},"parallel":2,"fidelity":{"strategy":"hyperband"},"target":{"scale_gb":2}}'
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/autotuned" ./cmd/autotuned
+go build -o "$workdir/autotune-evaluator" ./cmd/autotune-evaluator
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    curl -sf "http://$1/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "server on $1 never became healthy" >&2
+  return 1
+}
+
+# run_session <daemon addr> <events out>: submit SPEC, stream its ordered
+# event log to completion, and print the session id.
+run_session() {
+  local addr=$1 out=$2 id
+  id=$(curl -sf -X POST "http://$addr/sessions" \
+    -H 'Content-Type: application/json' -d "$SPEC" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  test -n "$id"
+  curl -sfN --max-time 120 "http://$addr/sessions/$id/events" > "$out"
+  echo "$id"
+}
+
+# The evaluator fleet.
+"$workdir/autotune-evaluator" -addr "$EV1_ADDR" -workers 2 &
+pids+=($!)
+"$workdir/autotune-evaluator" -addr "$EV2_ADDR" -workers 2 &
+pids+=($!)
+wait_healthy "$EV1_ADDR"
+wait_healthy "$EV2_ADDR"
+
+# Reference run: local-only daemon.
+"$workdir/autotuned" -addr "$LOCAL_ADDR" &
+pids+=($!)
+wait_healthy "$LOCAL_ADDR"
+run_session "$LOCAL_ADDR" "$workdir/events-local.txt" >/dev/null
+
+# Fleet run: same spec against a daemon leasing trials to both evaluators.
+"$workdir/autotuned" -addr "$FLEET_ADDR" \
+  -evaluators "http://$EV1_ADDR,http://$EV2_ADDR" &
+pids+=($!)
+wait_healthy "$FLEET_ADDR"
+run_session "$FLEET_ADDR" "$workdir/events-fleet.txt" >/dev/null
+
+grep -q "^event: trial_done" "$workdir/events-local.txt"
+grep -q "^event: trial_pruned" "$workdir/events-local.txt"
+grep -q "^event: session_done" "$workdir/events-local.txt"
+
+if ! diff -u "$workdir/events-local.txt" "$workdir/events-fleet.txt"; then
+  echo "FAIL: event streams diverge between local-only and fleet evaluation" >&2
+  exit 1
+fi
+
+fleet=$(curl -sf "http://$FLEET_ADDR/evaluators")
+echo "$fleet"
+completed=$(echo "$fleet" | grep -o '"completed":[0-9]*' | awk -F: '{s += $2} END {print s + 0}')
+if [ "$completed" -eq 0 ]; then
+  echo "FAIL: fleet daemon finished the session without any remote evaluations" >&2
+  exit 1
+fi
+echo "$fleet" | grep -q '"healthy":true'
+
+events=$(grep -c '^event:' "$workdir/events-local.txt")
+echo "dist smoke passed: $events events, byte-identical local vs 2-evaluator fleet"
