@@ -75,6 +75,16 @@ type (
 	Event = tune.Event
 	// EventKind names one kind of session event.
 	EventKind = tune.EventKind
+	// StreamSummary is the compacted replacement for an evicted event-stream
+	// prefix, carried by the synthetic stream_checkpoint/stream_lagged
+	// events bounded subscriptions emit.
+	StreamSummary = tune.StreamSummary
+	// CheckpointState is the resumable session snapshot handed to
+	// Job/EngineOptions Checkpoint hooks at batch boundaries.
+	CheckpointState = tune.CheckpointState
+	// Replay is the serialized observation history a resumed session feeds
+	// back through a fresh proposer (Job/EngineOptions Replay).
+	Replay = tune.Replay
 	// Run is the live handle to a submitted tuning session: an ordered
 	// Events() stream, Pause/Resume/Stop control, and Wait for the result.
 	Run = engine.Run
@@ -106,6 +116,19 @@ const (
 	TrialPruned       = tune.TrialPruned
 	SessionDone       = tune.SessionDone
 )
+
+// Synthetic per-subscriber stream events (never part of the recorded
+// sequence): compaction notices from bounded event buffers and the daemon's
+// graceful-shutdown terminator.
+const (
+	StreamCheckpoint = tune.StreamCheckpoint
+	StreamLagged     = tune.StreamLagged
+	Draining         = tune.Draining
+)
+
+// DefaultEventBuffer is the per-run event retention bound when a Job does
+// not choose one.
+const DefaultEventBuffer = engine.DefaultEventBuffer
 
 // Run lifecycle states, re-exported from the engine.
 const (

@@ -53,7 +53,16 @@ func main() {
 		Workers:        *workers,
 		HeartbeatEvery: *heartbeat,
 	})
-	srv := &http.Server{Addr: *addr, Handler: ev.Handler()}
+	// Slowloris hardening, mirroring autotuned: bound header reads, idle
+	// keep-alives, and header size. Lease streams are long-lived, so no
+	// server-wide WriteTimeout.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           ev.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,398 @@
+// Command autotune-soak is the load and survivability harness for a running
+// autotuned daemon: it drives many concurrent tuning sessions through the
+// HTTP API, measures submit→first-event latency (the user-visible "is the
+// service responsive under load" number), samples the daemon's RSS, and
+// optionally floods past the daemon's admission caps to verify overload is
+// shed with 429s instead of memory growth.
+//
+// Usage:
+//
+//	autotuned -addr :8080 -max-sessions 64 &
+//	autotune-soak -url http://localhost:8080 -sessions 500 -concurrency 32 \
+//	    -daemon-pid $! -flood 50 -out BENCH_pr8.json
+//
+// Each driven session is submitted, its SSE stream consumed to completion,
+// and the finished session DELETEd — the same release-valve discipline a
+// long-lived client fleet uses, which is what keeps daemon memory flat. The
+// JSON report (stdout or -out) carries latency percentiles, RSS samples, and
+// HTTP outcome counts; -assert-p99-ms / -assert-rss-growth / the implicit
+// no-5xx check turn the report into a CI gate (non-zero exit on violation).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type report struct {
+	Sessions    int     `json:"sessions"`
+	Concurrency int     `json:"concurrency"`
+	TrialsEach  int     `json:"trials_each"`
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	Rejected429 int64   `json:"rejected_429"`
+	HTTP5xx     int64   `json:"http_5xx"`
+	DurationS   float64 `json:"duration_s"`
+	// SubmitToFirstEventMs is the latency from starting the POST /sessions
+	// request to the first SSE event byte of that session's stream.
+	SubmitToFirstEventMs percentiles `json:"submit_to_first_event_ms"`
+	// RSSKB tracks the daemon's resident set over the run (absent without
+	// -daemon-pid). GrowthRatio is peak/start.
+	RSSKB *rssReport `json:"rss_kb,omitempty"`
+	// Flood reports the admission-control phase (absent without -flood).
+	Flood *floodReport `json:"flood,omitempty"`
+	Pass  bool         `json:"pass"`
+	Notes []string     `json:"notes,omitempty"`
+}
+
+type percentiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type rssReport struct {
+	Start       int64   `json:"start"`
+	Peak        int64   `json:"peak"`
+	End         int64   `json:"end"`
+	GrowthRatio float64 `json:"growth_ratio"`
+}
+
+type floodReport struct {
+	Submitted int   `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:8080", "autotuned base URL")
+		sessions   = flag.Int("sessions", 100, "total sessions to drive to completion")
+		conc       = flag.Int("concurrency", 16, "sessions in flight at once")
+		trials     = flag.Int("trials", 5, "trial budget per session")
+		system     = flag.String("system", "dbms", "system each session tunes")
+		workload   = flag.String("workload", "tpch", "workload each session tunes")
+		tuner      = flag.String("tuner", "random", "tuner each session runs")
+		daemonPid  = flag.Int("daemon-pid", 0, "daemon pid to sample RSS from /proc/<pid>/status (0 = skip)")
+		flood      = flag.Int("flood", 0, "extra burst submissions after the main phase to exercise admission control (expects at least one 429 when the daemon has caps)")
+		floodTrial = flag.Int("flood-trials", 100000, "trial budget for flood sessions (large, so they stay in flight and the burst actually accumulates against the cap; all are stopped afterwards)")
+		out        = flag.String("out", "", "write the JSON report here (default stdout)")
+		assertP99  = flag.Float64("assert-p99-ms", 0, "fail if submit→first-event p99 exceeds this many ms (0 = no assertion)")
+		assertPeak = flag.Int64("assert-rss-peak-mb", 0, "fail if daemon peak RSS exceeds this many MB (0 = no assertion; an absolute bound, since a growth ratio off a few-MB cold start gates nothing)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 0} // SSE streams are long-lived; per-phase deadlines below
+	spec := fmt.Sprintf(`{"system":%q,"workload":%q,"tuner":%q,"seed":%%d,"budget":{"trials":%d}}`,
+		*system, *workload, *tuner, *trials)
+
+	rep := report{Sessions: *sessions, Concurrency: *conc, TrialsEach: *trials, Pass: true}
+	var mu sync.Mutex
+	var latencies []float64
+	var completed, failed, rejected, http5xx int64
+
+	// RSS sampler: VmRSS from /proc/<pid>/status at 200ms cadence.
+	var rssMu sync.Mutex
+	var rssSamples []int64
+	stopRSS := make(chan struct{})
+	var rssWG sync.WaitGroup
+	if *daemonPid > 0 {
+		rssWG.Add(1)
+		go func() {
+			defer rssWG.Done()
+			tick := time.NewTicker(200 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				if kb, ok := readRSS(*daemonPid); ok {
+					rssMu.Lock()
+					rssSamples = append(rssSamples, kb)
+					rssMu.Unlock()
+				}
+				select {
+				case <-stopRSS:
+					return
+				case <-tick.C:
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	next := make(chan int)
+	go func() {
+		for i := 0; i < *sessions; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lat, outcome := driveSession(client, *url, fmt.Sprintf(spec, 1000+i))
+				switch outcome {
+				case outcomeDone:
+					atomic.AddInt64(&completed, 1)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				case outcome429:
+					atomic.AddInt64(&rejected, 1)
+					// Backpressure is a signal, not a failure: retry the same
+					// slot after a beat, mirroring a well-behaved client.
+					time.Sleep(250 * time.Millisecond)
+					go func(i int) { next2Retry(client, *url, fmt.Sprintf(spec, 1000+i), &completed, &failed, &latencies, &mu) }(i)
+				case outcome5xx:
+					atomic.AddInt64(&http5xx, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Flood phase: a burst of concurrent long-running submissions with
+	// nobody consuming, to verify the daemon sheds overload at the door.
+	// Accepted sessions are only stopped after every POST has resolved, so
+	// the unfinished count climbs monotonically through the burst and a
+	// capped daemon must 429 the overflow.
+	if *flood > 0 {
+		floodSpec := fmt.Sprintf(`{"system":%q,"workload":%q,"tuner":%q,"seed":%%d,"budget":{"trials":%d}}`,
+			*system, *workload, *tuner, *floodTrial)
+		fr := &floodReport{Submitted: *flood}
+		var fmu sync.Mutex
+		var accepted []string
+		var fwg sync.WaitGroup
+		for i := 0; i < *flood; i++ {
+			fwg.Add(1)
+			go func(i int) {
+				defer fwg.Done()
+				resp, err := client.Post(*url+"/sessions", "application/json",
+					bytes.NewReader([]byte(fmt.Sprintf(floodSpec, 5000+i))))
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				var body struct {
+					ID string `json:"id"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&body)
+				switch {
+				case resp.StatusCode == http.StatusCreated:
+					atomic.AddInt64(&fr.Accepted, 1)
+					if body.ID != "" {
+						fmu.Lock()
+						accepted = append(accepted, body.ID)
+						fmu.Unlock()
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					atomic.AddInt64(&fr.Rejected, 1)
+				case resp.StatusCode >= 500:
+					atomic.AddInt64(&http5xx, 1)
+				}
+			}(i)
+		}
+		fwg.Wait()
+		for _, id := range accepted {
+			req, _ := http.NewRequest(http.MethodDelete, *url+"/sessions/"+id, nil)
+			if dresp, derr := client.Do(req); derr == nil {
+				dresp.Body.Close()
+			}
+		}
+		rep.Flood = fr
+	}
+
+	close(stopRSS)
+	rssWG.Wait()
+	rep.DurationS = time.Since(start).Seconds()
+	rep.Completed, rep.Failed, rep.Rejected429, rep.HTTP5xx = completed, failed, rejected, http5xx
+	rep.SubmitToFirstEventMs = summarize(latencies)
+	rssMu.Lock()
+	if len(rssSamples) > 0 {
+		r := &rssReport{Start: rssSamples[0], End: rssSamples[len(rssSamples)-1]}
+		for _, kb := range rssSamples {
+			if kb > r.Peak {
+				r.Peak = kb
+			}
+		}
+		if r.Start > 0 {
+			r.GrowthRatio = float64(r.Peak) / float64(r.Start)
+		}
+		rep.RSSKB = r
+	}
+	rssMu.Unlock()
+
+	// Gates.
+	if http5xx > 0 {
+		rep.Pass = false
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%d 5xx responses", http5xx))
+	}
+	if failed > 0 {
+		rep.Pass = false
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%d sessions failed", failed))
+	}
+	if *assertP99 > 0 && rep.SubmitToFirstEventMs.P99 > *assertP99 {
+		rep.Pass = false
+		rep.Notes = append(rep.Notes, fmt.Sprintf("p99 %.1fms exceeds ceiling %.1fms", rep.SubmitToFirstEventMs.P99, *assertP99))
+	}
+	if *assertPeak > 0 && rep.RSSKB != nil && rep.RSSKB.Peak > *assertPeak*1024 {
+		rep.Pass = false
+		rep.Notes = append(rep.Notes, fmt.Sprintf("peak RSS %d kB exceeds ceiling %d MB", rep.RSSKB.Peak, *assertPeak))
+	}
+
+	data, _ := json.MarshalIndent(rep, "", "  ")
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	os.Stdout.Write(data)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+type outcome int
+
+const (
+	outcomeDone outcome = iota
+	outcomeFailed
+	outcome429
+	outcome5xx
+)
+
+// driveSession runs one full session lifecycle: submit, consume the SSE
+// stream to session_done, DELETE the finished session. Returns the
+// submit→first-event latency in ms.
+func driveSession(client *http.Client, base, spec string) (float64, outcome) {
+	t0 := time.Now()
+	resp, err := client.Post(base+"/sessions", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		return 0, outcomeFailed
+	}
+	var created struct {
+		ID     string `json:"id"`
+		Events string `json:"events"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return 0, outcome429
+	case resp.StatusCode >= 500:
+		return 0, outcome5xx
+	case resp.StatusCode != http.StatusCreated || derr != nil || created.ID == "":
+		return 0, outcomeFailed
+	}
+	ev, err := client.Get(base + "/sessions/" + created.ID + "/events")
+	if err != nil || ev.StatusCode != http.StatusOK {
+		if ev != nil {
+			ev.Body.Close()
+		}
+		return 0, outcomeFailed
+	}
+	defer ev.Body.Close()
+	var firstEvent float64 = -1
+	sawDone := false
+	sc := bufio.NewScanner(ev.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if firstEvent < 0 && strings.HasPrefix(line, "event: ") {
+			firstEvent = float64(time.Since(t0).Microseconds()) / 1000
+		}
+		if line == "event: session_done" {
+			sawDone = true
+		}
+		// The stream closes itself after session_done's data lines.
+	}
+	// Release valve: a finished session's record (and event ring) is dropped.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/sessions/"+created.ID, nil)
+	if dresp, derr := client.Do(req); derr == nil {
+		dresp.Body.Close()
+	}
+	if !sawDone || firstEvent < 0 {
+		return 0, outcomeFailed
+	}
+	return firstEvent, outcomeDone
+}
+
+// next2Retry re-drives one 429-rejected session to completion (single
+// retry chain, so a capped daemon still finishes the nominal workload).
+func next2Retry(client *http.Client, base, spec string, completed, failed *int64, lats *[]float64, mu *sync.Mutex) {
+	for attempt := 0; attempt < 200; attempt++ {
+		lat, oc := driveSession(client, base, spec)
+		switch oc {
+		case outcomeDone:
+			atomic.AddInt64(completed, 1)
+			mu.Lock()
+			*lats = append(*lats, lat)
+			mu.Unlock()
+			return
+		case outcome429:
+			time.Sleep(250 * time.Millisecond)
+			continue
+		default:
+			atomic.AddInt64(failed, 1)
+			return
+		}
+	}
+	atomic.AddInt64(failed, 1)
+}
+
+// summarize computes latency percentiles (ms).
+func summarize(ms []float64) percentiles {
+	p := percentiles{N: len(ms)}
+	if len(ms) == 0 {
+		return p
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	p.P50, p.P90, p.P99, p.Max = at(0.50), at(0.90), at(0.99), ms[len(ms)-1]
+	return p
+}
+
+// readRSS parses VmRSS (kB) out of /proc/<pid>/status.
+func readRSS(pid int) (int64, bool) {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				return kb, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autotune-soak:", err)
+	os.Exit(1)
+}

@@ -25,11 +25,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	repro "repro"
 	"repro/internal/dist"
@@ -55,6 +57,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "render a live trial/incumbent line from the event stream")
 		repoDir   = flag.String("repo", "", "durable tuning-repository directory (load history, archive this session)")
 		warmStart = flag.Bool("warm-start", false, "seed the tuner from the nearest past workload in -repo")
+		resume    = flag.Bool("resume", false, "with -repo: durably checkpoint progress at batch boundaries and resume a matching interrupted session (same system/workload/tuner/seed)")
 		fidelity  = flag.String("fidelity", "", `multi-fidelity bracket strategy: "hyperband" or "halving" (off when empty)`)
 		fidMin    = flag.Float64("fidelity-min", 0, "lowest fidelity fraction evaluated (0 = default 1/9)")
 		fidEta    = flag.Float64("fidelity-eta", 0, "rung promotion ratio (0 = default 3)")
@@ -67,6 +70,9 @@ func main() {
 
 	if *warmStart && *repoDir == "" {
 		fatal(fmt.Errorf("-warm-start requires -repo"))
+	}
+	if *resume && *repoDir == "" {
+		fatal(fmt.Errorf("-resume requires -repo (checkpoints live in the repository directory)"))
 	}
 
 	if *list {
@@ -155,7 +161,43 @@ func main() {
 		}
 		tn = mf
 	}
-	eng := repro.NewEngine(repro.EngineOptions{Workers: *parallel, Cache: *memo, Remote: remote})
+	// With -resume the session's observation history is checkpointed into
+	// the repository at every batch boundary and picked back up on the next
+	// invocation with the same flags: the history replays into a fresh
+	// proposer, so the continued run is identical to an uninterrupted one.
+	var ckptSID string
+	var ckptHook func(tune.CheckpointState)
+	var replay *tune.Replay
+	if *resume {
+		ckptSID = cliCheckpointID(*system, *wl, *tuner, *fidelity, *seed)
+		meta, merr := json.Marshal(map[string]any{
+			"system": *system, "workload": *wl, "tuner": *tuner,
+			"fidelity": *fidelity, "seed": *seed, "trials": *trials,
+		})
+		if merr != nil {
+			fatal(merr)
+		}
+		if cps, cerr := st.Checkpoints(); cerr == nil {
+			for _, cp := range cps {
+				if cp.SID == ckptSID && len(cp.Replay.Trials) > 0 {
+					r := cp.Replay
+					replay = &r
+					fmt.Printf("resuming from checkpoint: %d trials already observed\n", len(r.Trials))
+					break
+				}
+			}
+		}
+		ckptHook = func(cs tune.CheckpointState) {
+			_ = st.SaveCheckpoint(store.SessionCheckpoint{
+				SID: ckptSID, Spec: meta, Replay: cs.Replay(),
+				Trials: len(cs.Trials), UpdatedAt: time.Now(),
+			})
+		}
+	}
+	eng := repro.NewEngine(repro.EngineOptions{
+		Workers: *parallel, Cache: *memo, Remote: remote,
+		Checkpoint: ckptHook, Replay: replay,
+	})
 	budget := tune.Budget{Trials: *trials}
 	var res *repro.TuningResult
 	if *progress {
@@ -164,6 +206,7 @@ func main() {
 		run := eng.Submit(repro.Job{
 			Name: target.Name() + "/" + tn.Name(), Tuner: tn, Target: target,
 			Budget: budget, Parallel: *parallel, Remote: remote,
+			Checkpoint: ckptHook, Replay: replay,
 		})
 		best, simUsed := math.Inf(1), 0.0
 		shown := false
@@ -194,6 +237,10 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *resume {
+		// The session completed; its checkpoint has nothing left to resume.
+		_ = st.DeleteCheckpoint(ckptSID)
 	}
 	if st != nil && len(res.Trials) > 0 {
 		id, err := st.Append(tune.NewSessionRecord(*system, *wl, features, res))
@@ -237,6 +284,23 @@ func main() {
 			fmt.Printf("  %3d %.1f\n", i+1, v)
 		}
 	}
+}
+
+// cliCheckpointID names the resume checkpoint for one flag combination: two
+// invocations with the same system/workload/tuner/fidelity/seed address the
+// same interrupted session. Sanitized to the store's session-id alphabet.
+func cliCheckpointID(system, wl, tuner, fidelity string, seed int64) string {
+	id := fmt.Sprintf("cli-%s-%s-%s-%d", system, wl, tuner, seed)
+	if fidelity != "" {
+		id = fmt.Sprintf("cli-%s-%s-%s-%s-%d", system, wl, tuner, fidelity, seed)
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, id)
 }
 
 func fatal(err error) {

@@ -45,22 +45,37 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrently running sessions (0 = all cores)")
-		memo    = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
-		repoDir = flag.String("repo", "", "durable tuning-repository directory (archives completed sessions; enables warm_start)")
-		evals   = flag.String("evaluators", "", "comma-separated base URLs of autotune-evaluator processes to lease trials to")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "max concurrently running sessions (0 = all cores)")
+		memo        = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
+		repoDir     = flag.String("repo", "", "durable tuning-repository directory (archives completed sessions; enables warm_start and crash-resume)")
+		evals       = flag.String("evaluators", "", "comma-separated base URLs of autotune-evaluator processes to lease trials to")
+		maxSessions = flag.Int("max-sessions", 0, "max unfinished sessions before POST /sessions returns 429 (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "max sessions queued for a scheduler slot before POST /sessions returns 429 (0 = unlimited)")
+		eventBuffer = flag.Int("event-buffer", 0, "events retained per session for replay; older events compact into a stream checkpoint (0 = default 4096, negative = unbounded)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "min new trials between durable session checkpoints (0 = every batch boundary; needs -repo)")
+		drainWait   = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight sessions to checkpoint and stop")
 	)
 	flag.Parse()
 
-	d, err := daemon.New(daemon.Options{Workers: *workers, Memo: *memo, RepoDir: *repoDir, Evaluators: splitURLs(*evals)})
+	d, err := daemon.New(daemon.Options{
+		Workers: *workers, Memo: *memo, RepoDir: *repoDir, Evaluators: splitURLs(*evals),
+		MaxSessions: *maxSessions, MaxQueue: *maxQueue,
+		EventBuffer: *eventBuffer, CheckpointEvery: *ckptEvery,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer d.Close()
+	// Slowloris hardening: bound header reads, idle keep-alives, and header
+	// size. No WriteTimeout — SSE streams are deliberately long-lived; each
+	// SSE write carries its own deadline inside the daemon instead.
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: d.Handler(),
+		Addr:              *addr,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -73,6 +88,17 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
+		// Graceful drain: stop admitting (503), end open SSE streams with a
+		// terminal "draining" event, checkpoint and stop in-flight sessions
+		// (they resume on the next start against the same -repo), then shut
+		// the listener down. A drain overrunning its deadline still exits
+		// cleanly — the checkpoints on disk are what the next start needs.
+		fmt.Println("autotuned: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := d.Drain(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "autotuned: drain:", err)
+		}
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -39,10 +39,13 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -67,18 +70,52 @@ type Options struct {
 	// slots join every session's trial evaluation. More can be registered at
 	// runtime via POST /evaluators; with none, sessions evaluate locally.
 	Evaluators []string
+	// MaxSessions caps unfinished sessions (pending + running + paused).
+	// Past it POST /sessions is refused with 429 and a Retry-After hint —
+	// admission control, so an overload sheds work at the door instead of
+	// accumulating unbounded session state. 0 means unlimited.
+	MaxSessions int
+	// MaxQueue caps sessions waiting for a scheduler slot, independently of
+	// MaxSessions (a deep queue of admitted-but-unstarted work is its own
+	// overload signal). 0 means unlimited.
+	MaxQueue int
+	// EventBuffer is each session's event retention bound (engine ring
+	// size): 0 = the engine default, negative = unbounded (the pre-bounding
+	// behavior).
+	EventBuffer int
+	// CheckpointEvery throttles session checkpointing: at least this many
+	// new trials between durable snapshots (0 = every batch/rung boundary).
+	// Only meaningful with a RepoDir.
+	CheckpointEvery int
+	// SSEWriteTimeout bounds each SSE write: a client that stops reading
+	// long enough to block the server past it is disconnected (its
+	// subscription is released) instead of pinning the handler forever.
+	// Default 30s; negative disables.
+	SSEWriteTimeout time.Duration
 }
+
+// DefaultSSEWriteTimeout bounds a single blocked SSE write before the
+// subscriber is disconnected.
+const DefaultSSEWriteTimeout = 30 * time.Second
 
 // Server owns the engine, the session table, and the durable repository.
 type Server struct {
 	eng  *repro.Engine
 	repo store.Store // nil without a RepoDir
 	pool *dist.Pool  // always non-nil; empty without evaluators
+	opts Options
+
+	// drainCh is closed when a graceful drain begins: open SSE streams
+	// write a terminal "draining" event and admission refuses new work.
+	drainCh chan struct{}
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	order    []string
 	nextID   int
+	draining bool
+	rejected int64 // sessions refused by admission control (429s)
+	resumed  int   // sessions resumed from checkpoints at startup
 }
 
 type session struct {
@@ -86,6 +123,7 @@ type session struct {
 	Spec    repro.Spec
 	Run     *repro.Run
 	Created time.Time
+	Resumed bool // restored from a checkpoint at daemon startup
 
 	mu         sync.Mutex
 	archiveID  int64 // repository id once archived
@@ -94,11 +132,19 @@ type session struct {
 
 // New returns a daemon server scheduling sessions on its own engine. With a
 // RepoDir it opens (or initializes) the durable repository there, recovering
-// state from previous daemon lifetimes.
+// state from previous daemon lifetimes: the archived corpus is served again,
+// and every in-flight session checkpoint left by the previous lifetime
+// (crash or drain) is resubmitted with its observation history replayed, so
+// interrupted sessions continue instead of vanishing.
 func New(o Options) (*Server, error) {
+	if o.SSEWriteTimeout == 0 {
+		o.SSEWriteTimeout = DefaultSSEWriteTimeout
+	}
 	s := &Server{
 		eng:      repro.NewEngine(repro.EngineOptions{Workers: o.Workers, Cache: o.Memo}),
 		pool:     dist.NewPool(o.Evaluators, dist.PoolOptions{Name: "autotuned"}),
+		opts:     o,
+		drainCh:  make(chan struct{}),
 		sessions: map[string]*session{},
 	}
 	if o.RepoDir != "" {
@@ -107,8 +153,58 @@ func New(o Options) (*Server, error) {
 			return nil, err
 		}
 		s.repo = st
+		s.resumeCheckpoints()
 	}
 	return s, nil
+}
+
+// resumeCheckpoints resubmits every session checkpoint the previous daemon
+// lifetime left behind. Resume failures are per-session, not fatal: a
+// checkpoint that no longer decodes or whose spec is invalid surfaces as a
+// failed session (and its checkpoint is released), never as a daemon that
+// will not start.
+func (s *Server) resumeCheckpoints() {
+	cps, err := s.repo.Checkpoints()
+	if err != nil || len(cps) == 0 {
+		return
+	}
+	for _, cp := range cps {
+		var spec repro.Spec
+		dec := json.NewDecoder(bytes.NewReader(cp.Spec))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil || spec.Validate() != nil {
+			// The checkpoint is unusable; drop it rather than retry forever.
+			_ = s.repo.DeleteCheckpoint(cp.SID)
+			continue
+		}
+		replay := cp.Replay
+		if _, err := s.startSession(spec, cp.SID, &replay, true); err != nil {
+			_ = s.repo.DeleteCheckpoint(cp.SID)
+			continue
+		}
+		s.mu.Lock()
+		if _, n, ok := splitSid(cp.SID); ok && n > s.nextID {
+			s.nextID = n
+		}
+		s.resumed++
+		s.mu.Unlock()
+	}
+}
+
+// splitSid splits the trailing decimal off a session id ("s12" → "s", 12).
+func splitSid(sid string) (prefix string, n int, ok bool) {
+	i := len(sid)
+	for i > 0 && sid[i-1] >= '0' && sid[i-1] <= '9' {
+		i--
+	}
+	if i == len(sid) {
+		return sid, 0, false
+	}
+	n, err := strconv.Atoi(sid[i:])
+	if err != nil {
+		return sid, 0, false
+	}
+	return sid[:i], n, true
 }
 
 // Close releases the repository store (if any). Live sessions keep running;
@@ -173,13 +269,39 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		InFlight   int64 `json:"in_flight"`
 		Retries    int64 `json:"retries"`
 	}
+	// admissionSummary reports the backpressure state: the configured caps,
+	// how many submissions they have refused, and whether a drain is under
+	// way. memorySummary pairs process heap figures with the summed
+	// per-session event-ring estimates — the number the bounded-stream work
+	// keeps flat no matter how long sessions run.
+	type admissionSummary struct {
+		MaxSessions int   `json:"max_sessions,omitempty"`
+		MaxQueue    int   `json:"max_queue,omitempty"`
+		Rejected    int64 `json:"rejected"`
+		Draining    bool  `json:"draining"`
+		Resumed     int   `json:"resumed,omitempty"`
+	}
+	type memorySummary struct {
+		HeapAllocBytes   uint64 `json:"heap_alloc_bytes"`
+		HeapSysBytes     uint64 `json:"heap_sys_bytes"`
+		EventRingBytes   int    `json:"event_ring_bytes"`
+		EventSubscribers int    `json:"event_subscribers"`
+	}
 	s.mu.Lock()
 	sessions := make([]*session, 0, len(s.order))
 	for _, id := range s.order {
 		sessions = append(sessions, s.sessions[id])
 	}
+	adm := admissionSummary{
+		MaxSessions: s.opts.MaxSessions,
+		MaxQueue:    s.opts.MaxQueue,
+		Rejected:    s.rejected,
+		Draining:    s.draining,
+		Resumed:     s.resumed,
+	}
 	s.mu.Unlock()
 	var sums sessionSummary
+	var mem memorySummary
 	sums.Total = len(sessions)
 	for _, sess := range sessions {
 		switch sess.Run.State() {
@@ -194,7 +316,13 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		case repro.RunFailed:
 			sums.Failed++
 		}
+		mem.EventRingBytes += sess.Run.MemoryBytes()
+		mem.EventSubscribers += sess.Run.Subscribers()
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mem.HeapAllocBytes = ms.HeapAlloc
+	mem.HeapSysBytes = ms.HeapSys
 	repo := repoSummaryz{Enabled: s.repo != nil}
 	if s.repo != nil {
 		repo.Sessions = len(s.repo.Sessions())
@@ -211,6 +339,8 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"sessions":   sums,
+		"admission":  adm,
+		"memory":     mem,
 		"repository": repo,
 		"evaluators": fleet,
 	})
@@ -260,6 +390,44 @@ func (s *Server) lookup(r *http.Request) (*session, error) {
 	return sess, nil
 }
 
+// admit enforces admission control for one new session: refused while
+// draining (503) or past the configured session/queue caps (429, with a
+// Retry-After hint — the client's release valves are waiting for sessions to
+// finish and DELETEing finished ones). Counting walks the session table, so
+// the decision reflects live run states, not stale counters.
+func (s *Server) admit() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return http.StatusServiceUnavailable, fmt.Errorf("daemon is draining; in-flight sessions are being checkpointed for the next start")
+	}
+	if s.opts.MaxSessions <= 0 && s.opts.MaxQueue <= 0 {
+		return 0, nil
+	}
+	var unfinished, pending int
+	for _, id := range s.order {
+		switch s.sessions[id].Run.State() {
+		case repro.RunDone, repro.RunFailed:
+		case repro.RunPending:
+			pending++
+			unfinished++
+		default:
+			unfinished++
+		}
+	}
+	if s.opts.MaxSessions > 0 && unfinished >= s.opts.MaxSessions {
+		s.rejected++
+		return http.StatusTooManyRequests,
+			fmt.Errorf("session cap reached (%d unfinished, max %d); retry later or DELETE finished sessions", unfinished, s.opts.MaxSessions)
+	}
+	if s.opts.MaxQueue > 0 && pending >= s.opts.MaxQueue {
+		s.rejected++
+		return http.StatusTooManyRequests,
+			fmt.Errorf("queue depth reached (%d pending, max %d); retry later", pending, s.opts.MaxQueue)
+	}
+	return 0, nil
+}
+
 func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	var spec repro.Spec
 	dec := json.NewDecoder(r.Body)
@@ -278,7 +446,35 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("warm_start requires the daemon to have a repository (start it with -repo)"))
 		return
 	}
-	sess := &session{Created: time.Now()}
+	if code, err := s.admit(); code != 0 {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, code, err)
+		return
+	}
+	sess, err := s.startSession(spec, "", nil, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"id":     sess.ID,
+		"name":   spec.Name(),
+		"state":  string(sess.Run.State()),
+		"url":    "/sessions/" + sess.ID,
+		"events": "/sessions/" + sess.ID + "/events",
+	})
+}
+
+// startSession builds and submits one session job — the shared path behind
+// POST /sessions (fresh ids, no replay) and checkpoint resume at startup
+// (preserved ids, replayed history). With a repository the job is wired for
+// crash-resume: its state is checkpointed durably at admission (a queued
+// session must survive a restart even before its first batch boundary) and
+// at every batch/rung boundary after.
+func (s *Server) startSession(spec repro.Spec, sid string, replay *tune.Replay, resumed bool) (*session, error) {
+	sess := &session{Created: time.Now(), Resumed: resumed}
 	var repo *repro.Repository
 	var archive func(repro.SessionRecord)
 	if s.repo != nil {
@@ -294,8 +490,7 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := spec.JobWith(repo, archive)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	// Every job carries the fleet backend bound to its own sysmodel. With an
 	// empty fleet the backend advertises zero slots and the engine evaluates
@@ -306,34 +501,70 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 		Seed:     spec.Seed,
 		Target:   spec.Target,
 	})
+	job.EventBuffer = s.opts.EventBuffer
+	if sid == "" {
+		s.mu.Lock()
+		s.nextID++
+		sid = fmt.Sprintf("s%d", s.nextID)
+		s.mu.Unlock()
+	}
+	sess.ID = sid
+	sess.Spec = spec
+	if s.repo != nil {
+		rawSpec, merr := json.Marshal(spec)
+		if merr != nil {
+			return nil, fmt.Errorf("encoding spec for checkpointing: %w", merr)
+		}
+		job.CheckpointEvery = s.opts.CheckpointEvery
+		job.Replay = replay
+		job.Checkpoint = func(cs tune.CheckpointState) {
+			_ = s.repo.SaveCheckpoint(store.SessionCheckpoint{
+				SID: sid, Spec: rawSpec, Replay: cs.Replay(), Trials: len(cs.Trials), UpdatedAt: time.Now(),
+			})
+		}
+		if replay == nil {
+			if err := s.repo.SaveCheckpoint(store.SessionCheckpoint{SID: sid, Spec: rawSpec, UpdatedAt: time.Now()}); err != nil {
+				return nil, fmt.Errorf("checkpointing session at admission: %w", err)
+			}
+		}
+	}
 	// The session outlives the HTTP request by design; its lifetime is
 	// managed through DELETE, not the request context.
-	run := s.eng.SubmitContext(context.Background(), job)
+	sess.Run = s.eng.SubmitContext(context.Background(), job)
 	s.mu.Lock()
-	s.nextID++
-	sess.ID = fmt.Sprintf("s%d", s.nextID)
-	sess.Spec = spec
-	sess.Run = run
-	s.sessions[sess.ID] = sess
-	s.order = append(s.order, sess.ID)
+	s.sessions[sid] = sess
+	s.order = append(s.order, sid)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]string{
-		"id":     sess.ID,
-		"name":   spec.Name(),
-		"state":  string(run.State()),
-		"url":    "/sessions/" + sess.ID,
-		"events": "/sessions/" + sess.ID + "/events",
-	})
+	if s.repo != nil {
+		go s.reapCheckpoint(sess)
+	}
+	return sess, nil
+}
+
+// reapCheckpoint applies the checkpoint retention rules once the session
+// finishes. Success and genuine failure release the checkpoint — a failed
+// session resurrecting on every restart would fail forever. Cancellation
+// keeps it: a drain's whole point is that the checkpoint outlives the
+// process, and an operator DELETE releases it explicitly in its handler.
+func (s *Server) reapCheckpoint(sess *session) {
+	<-sess.Run.Done()
+	if _, err := sess.Run.Result(); err == nil || !errors.Is(err, context.Canceled) {
+		_ = s.repo.DeleteCheckpoint(sess.ID)
+	}
 }
 
 // status is the wire form of one session's current state.
 type status struct {
-	ID         string         `json:"id"`
-	Name       string         `json:"name"`
-	Spec       repro.Spec     `json:"spec"`
-	State      repro.RunState `json:"state"`
-	Created    time.Time      `json:"created"`
-	TrialsDone int            `json:"trials_done"`
+	ID      string         `json:"id"`
+	Name    string         `json:"name"`
+	Spec    repro.Spec     `json:"spec"`
+	State   repro.RunState `json:"state"`
+	Created time.Time      `json:"created"`
+	// Resumed marks a session restored from a crash/drain checkpoint at
+	// daemon startup (its Created is the resubmission time, not the
+	// original admission).
+	Resumed    bool `json:"resumed,omitempty"`
+	TrialsDone int  `json:"trials_done"`
 	// TrialsPruned and RungsDecided report multi-fidelity progress: how
 	// many trials rung decisions early-stopped, over how many decisions
 	// (zero for single-fidelity sessions).
@@ -362,6 +593,7 @@ func (sess *session) status() status {
 		Spec:    sess.Spec,
 		State:   sess.Run.State(),
 		Created: sess.Created,
+		Resumed: sess.Resumed,
 	}
 	trials, inc, ok := sess.Run.Progress()
 	st.TrialsDone = trials
@@ -409,14 +641,35 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sess.status())
 }
 
-// events streams the session's ordered event log as server-sent events:
-// the full history replays first, then live events follow until
-// session_done closes the stream. Reconnecting replays identically.
+// events streams the session's ordered event log as server-sent events.
+// From the start (no offset) the retained history replays first, then live
+// events follow until session_done closes the stream; for sessions within
+// the event buffer, reconnecting replays identically. Each event carries an
+// `id:` line with its sequence number, so a reconnecting client resumes
+// from where it left off by sending Last-Event-ID (or ?after=N) — it
+// receives only the events past that point, or a synthetic
+// stream_checkpoint summarizing what was compacted away in the meantime.
+//
+// The handler defends the daemon against its clients: every write runs
+// under SSEWriteTimeout (a blocked client is disconnected, not buffered
+// indefinitely), and a graceful drain terminates the stream with a
+// "draining" event telling the client to reconnect after the restart.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookup(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
+	}
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -428,13 +681,39 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	for ev := range sess.Run.EventsContext(r.Context()) {
+	rc := http.NewResponseController(w)
+	write := func(ev tune.Event) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
+			return false
+		}
+		if s.opts.SSEWriteTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.opts.SSEWriteTimeout))
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	events := sess.Run.EventsSince(r.Context(), after)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		case <-s.drainCh:
+			// Terminal: the session is being checkpointed; the client should
+			// reconnect (with Last-Event-ID) against the next daemon start.
+			write(tune.Event{Kind: tune.Draining})
+			return
+		case <-r.Context().Done():
 			return
 		}
-		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
-		fl.Flush()
 	}
 }
 
@@ -461,12 +740,17 @@ func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
 // stop handles DELETE. On a live session it cancels the run but keeps the
 // record so clients can observe the outcome; on a finished session it
 // removes the record (and its event log) from the table — the release
-// valve that keeps a long-lived daemon's memory bounded.
+// valve that keeps a long-lived daemon's memory bounded. Either way the
+// session's resume checkpoint is released: an operator who deleted a
+// session does not want it resurrected on the next restart.
 func (s *Server) stop(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookup(r)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
+	}
+	if s.repo != nil {
+		_ = s.repo.DeleteCheckpoint(sess.ID)
 	}
 	state := sess.Run.State()
 	if state == repro.RunDone || state == repro.RunFailed {
@@ -484,6 +768,49 @@ func (s *Server) stop(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.Run.Stop()
 	writeJSON(w, http.StatusOK, map[string]string{"id": sess.ID, "state": string(sess.Run.State())})
+}
+
+// Drain begins a graceful shutdown: admission refuses new sessions with
+// 503, every open SSE stream terminates with a "draining" event, and every
+// unfinished run is stopped at its next trial boundary. In-flight sessions
+// keep their durable checkpoints (written at admission and every batch/rung
+// boundary), so the next daemon start on the same repository resumes them
+// with their observation history replayed. Drain waits for the runs to
+// settle until ctx expires; it is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	sessions := make([]*session, 0, len(s.order))
+	for _, id := range s.order {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	if first {
+		close(s.drainCh)
+	}
+	for _, sess := range sessions {
+		switch sess.Run.State() {
+		case repro.RunDone, repro.RunFailed:
+		default:
+			sess.Run.Stop()
+		}
+	}
+	for _, sess := range sessions {
+		select {
+		case <-sess.Run.Done():
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Draining reports whether a graceful drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // —— repository endpoints ——————————————————————————————————————————————————

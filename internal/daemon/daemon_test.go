@@ -50,6 +50,7 @@ func postSpec(t *testing.T, ts *httptest.Server, spec string) (id string, code i
 
 // sseEvent is one parsed server-sent event.
 type sseEvent struct {
+	ID   string
 	Name string
 	Data []byte
 }
@@ -64,10 +65,12 @@ func readSSE(t *testing.T, resp *http.Response) []sseEvent {
 	var out []sseEvent
 	var cur sseEvent
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			cur.Name = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):

@@ -52,14 +52,23 @@ type Options struct {
 	// this one (a fleet backend built for one target would silently
 	// evaluate another job's trials against the wrong system).
 	Remote RemoteBackend
+	// Checkpoint, CheckpointEvery, and Replay are the crash-resume hooks
+	// for direct Tune/Drive/DriveFidelity calls — Job carries its own
+	// copies for submitted runs. See Job.Checkpoint/Job.Replay.
+	Checkpoint      func(tune.CheckpointState)
+	CheckpointEvery int
+	Replay          *tune.Replay
 }
 
 // Engine evaluates tuning sessions concurrently.
 type Engine struct {
-	workers int
-	cache   bool
-	remote  RemoteBackend // nil: all evaluation is local
-	sem     chan struct{} // scheduler slots for Submit/RunJobs
+	workers    int
+	cache      bool
+	remote     RemoteBackend // nil: all evaluation is local
+	sem        chan struct{} // scheduler slots for Submit/RunJobs
+	checkpoint func(tune.CheckpointState)
+	ckptEvery  int
+	replay     *tune.Replay
 }
 
 // New returns an engine with the given options.
@@ -68,7 +77,10 @@ func New(o Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: w, cache: o.Cache, remote: o.Remote, sem: make(chan struct{}, w)}
+	return &Engine{
+		workers: w, cache: o.Cache, remote: o.Remote, sem: make(chan struct{}, w),
+		checkpoint: o.Checkpoint, ckptEvery: o.CheckpointEvery, replay: o.Replay,
+	}
 }
 
 // Workers returns the configured parallelism.
@@ -89,6 +101,9 @@ func (e *Engine) Tune(ctx context.Context, target tune.Target, tuner tune.Tuner,
 	}
 	bt, ok := tuner.(tune.BatchTuner)
 	if !ok {
+		if rep := e.replay; !rep.Empty() {
+			return nil, fmt.Errorf("engine: replay: tuner %q has no ask/tell proposal form; its sessions cannot be resumed", tuner.Name())
+		}
 		return tuner.Tune(ctx, target, b)
 	}
 	p, err := bt.NewProposer(target, b)
@@ -113,6 +128,23 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 	if m := tune.MonitorFrom(ctx); m != nil && m.Gate != nil {
 		gate = m.Gate
 	}
+	// Crash-resume: feed the checkpointed observation history back through a
+	// fresh proposer before evaluating anything new, then offer checkpoints
+	// at batch boundaries. Both are gated on index-keyed noise (ConcurrentTarget)
+	// — without it a resumed session could not reproduce the uninterrupted one.
+	if rep := e.replay; !rep.Empty() {
+		if ev.ct == nil {
+			return nil, fmt.Errorf("engine: replay: target %q has no run-index determinism (tune.ConcurrentTarget); sessions on it cannot be resumed", target.Name())
+		}
+		if err := replayDrive(s, p, ev, rep); err != nil {
+			return nil, err
+		}
+	}
+	ckpt := e.checkpoint
+	if ev.ct == nil {
+		ckpt = nil
+	}
+	lastCkpt := len(s.Trials())
 	// Under a sim-time budget the exhaustion point is unknowable before
 	// running, so evaluate in worker-sized chunks and re-check between
 	// them: waste past the cut is bounded by one chunk instead of one
@@ -160,6 +192,12 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 		}
 		if stopped {
 			break
+		}
+		// The batch boundary: every proposed configuration observed, no
+		// reservation outstanding — the only place the session's resumable
+		// state is well-defined.
+		if ckpt != nil {
+			lastCkpt = offerCheckpoint(ckpt, s, ev.ct, lastCkpt, e.ckptEvery)
 		}
 	}
 	// A cancelled session is an error, not a short tuning run — matching

@@ -40,6 +40,23 @@ func (e *Engine) DriveFidelity(ctx context.Context, name string, target tune.Tar
 	if m := tune.MonitorFrom(ctx); m != nil && m.Gate != nil {
 		gate = m.Gate
 	}
+	// Crash-resume (mirroring Drive): replay the checkpointed history into
+	// the fresh fidelity proposer, then offer checkpoints at rung boundaries.
+	// Both require index-keyed noise (ConcurrentFidelityTarget).
+	cft, hasIdx := ft.(tune.ConcurrentFidelityTarget)
+	if rep := e.replay; !rep.Empty() {
+		if !hasIdx {
+			return nil, fmt.Errorf("engine: replay: target %q has no run-index determinism (tune.ConcurrentFidelityTarget); sessions on it cannot be resumed", target.Name())
+		}
+		if err := replayFidelity(s, fp, cft, rep); err != nil {
+			return nil, err
+		}
+	}
+	ckpt := e.checkpoint
+	if !hasIdx {
+		ckpt = nil
+	}
+	lastCkpt := len(s.Trials())
 	for !s.Exhausted() {
 		gate()
 		if s.Exhausted() {
@@ -59,6 +76,12 @@ func (e *Engine) DriveFidelity(ctx context.Context, name string, target tune.Tar
 		}
 		if stopped {
 			break
+		}
+		// The rung boundary: every admitted candidate observed and its prune
+		// notices applied — the fidelity counterpart of Drive's batch
+		// boundary, and the only point the session's state is resumable.
+		if ckpt != nil {
+			lastCkpt = offerCheckpoint(ckpt, s, cft, lastCkpt, e.ckptEvery)
 		}
 	}
 	if err := ctx.Err(); err != nil {

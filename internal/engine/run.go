@@ -23,9 +23,31 @@ const (
 	RunFailed RunState = "failed"
 )
 
+// DefaultEventBuffer is how many events a run retains for replay when the
+// job does not choose a buffer size. Sessions shorter than this behave
+// exactly like the old unbounded log; longer sessions fold their oldest
+// events into a compacted stream checkpoint.
+const DefaultEventBuffer = 4096
+
+// eventBaseBytes is the accounting estimate for one retained event's fixed
+// footprint (struct, strings, channel bookkeeping); each configuration
+// dimension adds eventDimBytes. Estimates, not measurements — healthz uses
+// them to report order-of-magnitude stream memory per run.
+const (
+	eventBaseBytes = 256
+	eventDimBytes  = 16
+)
+
 // Run is the handle to one submitted tuning session. It exposes the
 // session's ordered event stream, pause/resume/stop control, and the final
 // result. Handles are safe for concurrent use.
+//
+// Event retention is bounded: the run keeps the most recent Job.EventBuffer
+// events in a ring and folds everything older into a compacted
+// tune.StreamSummary. Subscribers attaching (or falling) behind the ring
+// receive a synthetic stream_checkpoint/stream_lagged event carrying that
+// summary and then the retained tail, so a run's memory stays O(buffer) no
+// matter how long the session or how slow its subscribers.
 type Run struct {
 	job    Job
 	ctx    context.Context
@@ -33,9 +55,19 @@ type Run struct {
 	done   chan struct{}
 	sem    chan struct{} // the owning engine's scheduler slots
 
-	mu         sync.Mutex
-	log        []tune.Event
-	notify     chan struct{} // closed and replaced on every append
+	mu     sync.Mutex
+	buf    []tune.Event  // event ring: grows to bufCap, then wraps
+	head   int           // index of the oldest retained event once wrapped
+	total  int           // events ever appended == Seq of the newest
+	bufCap int           // retention bound; <0 means unbounded
+	notify chan struct{} // closed and replaced on every append
+	// summary compacts every event evicted from the ring; evictKind tracks
+	// rung grouping across evictions (mirroring lastKind for appends).
+	summary   tune.StreamSummary
+	evictKind tune.EventKind
+	memBytes  int // estimated bytes retained by the ring
+	subs      int // live subscription goroutines (gauge)
+
 	running    bool
 	finished   bool
 	holdsSlot  bool
@@ -74,6 +106,10 @@ func (e *Engine) submit(ctx context.Context, job Job, record bool) *Run {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	bufCap := job.EventBuffer
+	if bufCap == 0 {
+		bufCap = DefaultEventBuffer
+	}
 	rctx, cancel := context.WithCancel(ctx)
 	r := &Run{
 		job:    job,
@@ -81,6 +117,7 @@ func (e *Engine) submit(ctx context.Context, job Job, record bool) *Run {
 		cancel: cancel,
 		done:   make(chan struct{}),
 		sem:    e.sem,
+		bufCap: bufCap,
 		notify: make(chan struct{}),
 	}
 	go r.run(e, record)
@@ -108,7 +145,11 @@ func (r *Run) run(e *Engine, record bool) {
 	// Deliberately job.Remote only — never the engine's: an engine-level
 	// backend is bound to one target's sysmodel and would evaluate other
 	// jobs' trials against the wrong system.
-	sub := &Engine{workers: workers, cache: e.cache || r.job.Memo, remote: r.job.Remote, sem: make(chan struct{}, workers)}
+	sub := &Engine{
+		workers: workers, cache: e.cache || r.job.Memo, remote: r.job.Remote,
+		sem:        make(chan struct{}, workers),
+		checkpoint: r.job.Checkpoint, ckptEvery: r.job.CheckpointEvery, replay: r.job.Replay,
+	}
 	ctx := r.ctx
 	if record {
 		ctx = tune.WithMonitor(ctx, &tune.Monitor{OnEvent: r.observe, Gate: r.gate})
@@ -169,7 +210,7 @@ func (r *Run) finish(res *tune.TuningResult, err error) {
 	close(r.done)
 }
 
-// observe is the monitor sink: it appends a session event to the log and
+// observe is the monitor sink: it appends a session event to the ring and
 // wakes subscribers. Called with the session lock held, so it must not
 // block — appending under the run lock is all it does.
 func (r *Run) observe(ev tune.Event) {
@@ -179,8 +220,8 @@ func (r *Run) observe(ev tune.Event) {
 }
 
 func (r *Run) appendLocked(ev tune.Event) {
-	ev.Seq = len(r.log) + 1
-	r.log = append(r.log, ev)
+	r.total++
+	ev.Seq = r.total
 	switch ev.Kind {
 	case tune.TrialDone:
 		r.trialsDone++
@@ -193,8 +234,70 @@ func (r *Run) appendLocked(ev tune.Event) {
 		}
 	}
 	r.lastKind = ev.Kind
+	if r.bufCap < 0 || len(r.buf) < r.bufCap {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.foldLocked(r.buf[r.head])
+		r.memBytes -= eventBytes(r.buf[r.head])
+		r.buf[r.head] = ev
+		r.head = (r.head + 1) % r.bufCap
+	}
+	r.memBytes += eventBytes(ev)
 	close(r.notify)
 	r.notify = make(chan struct{})
+}
+
+// foldLocked compacts one evicted event into the run's stream summary, so a
+// summary-then-tail replay leaves a subscriber in the same state as the full
+// stream would have.
+func (r *Run) foldLocked(ev tune.Event) {
+	r.summary.CoveredThrough = ev.Seq
+	switch ev.Kind {
+	case tune.TrialDone:
+		r.summary.TrialsDone++
+		r.summary.SimTimeUsed = ev.SimTimeUsed
+	case tune.IncumbentImproved:
+		r.summary.BestTrial = ev.Trial
+		if ev.Config.Valid() {
+			r.summary.BestConfig = ev.Config.Map()
+		}
+		res := ev.Result
+		r.summary.BestResult = &res
+	case tune.TrialPruned:
+		r.summary.TrialsPruned++
+		if r.evictKind != tune.TrialPruned {
+			r.summary.RungsDecided++
+		}
+	}
+	r.evictKind = ev.Kind
+}
+
+// eventBytes estimates one event's retained footprint for memory accounting.
+func eventBytes(ev tune.Event) int {
+	return eventBaseBytes + eventDimBytes*ev.Config.Dims()
+}
+
+// oldestLocked returns the Seq of the oldest retained event (total+1 when
+// nothing is retained — the empty ring "starts" past everything appended).
+func (r *Run) oldestLocked() int {
+	return r.total - len(r.buf) + 1
+}
+
+// tailLocked copies the retained events with Seq > after, in order.
+func (r *Run) tailLocked(after int) []tune.Event {
+	oldest := r.oldestLocked()
+	if after < oldest-1 {
+		after = oldest - 1
+	}
+	n := r.total - after
+	if n <= 0 {
+		return nil
+	}
+	out := make([]tune.Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(r.head+(after-oldest+1)+i)%len(r.buf)]
+	}
+	return out
 }
 
 // Progress reports how many trials have completed and the last
@@ -215,6 +318,24 @@ func (r *Run) FidelityProgress() (trialsPruned, rungsDecided int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.trialsPruned, r.rungsDecided
+}
+
+// MemoryBytes estimates the bytes the run's event ring currently retains.
+// Tracked incrementally on append/evict; healthz sums it across sessions to
+// report stream memory without rescanning logs.
+func (r *Run) MemoryBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memBytes
+}
+
+// Subscribers reports how many event subscriptions are currently live —
+// an observability gauge, used by tests to assert that disconnected
+// subscribers are cleaned up.
+func (r *Run) Subscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subs
 }
 
 // gate blocks while the run is paused, returning when resumed or when the
@@ -317,49 +438,114 @@ func (r *Run) State() RunState {
 	return RunPending
 }
 
-// History returns a snapshot of all events emitted so far, in order.
+// History returns a snapshot of the retained events, in order. For sessions
+// shorter than the event buffer (the default 4096 covers every bundled
+// sysmodel session at default budgets) this is the complete history; longer
+// sessions retain the most recent events, with the evicted prefix available
+// as a summary through Summary.
 func (r *Run) History() []tune.Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]tune.Event, len(r.log))
-	copy(out, r.log)
-	return out
+	return r.tailLocked(0)
+}
+
+// Summary reports the compacted fold of every event evicted from the ring
+// so far. ok is false while nothing has been evicted (the retained events
+// are the full history).
+func (r *Run) Summary() (s tune.StreamSummary, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.summary, r.summary.CoveredThrough > 0
 }
 
 // Events returns an ordered event stream for the run. Every call starts a
-// fresh subscription that replays the run's history from the first event
-// and then follows live until SessionDone, after which the channel closes;
-// late and repeated subscribers see the identical sequence. The caller
-// must drain the channel (or use EventsContext to abandon it early).
+// fresh subscription that replays the run's retained history from the first
+// event and then follows live until SessionDone, after which the channel
+// closes. For sessions within the event buffer, late and repeated
+// subscribers see the identical sequence; past it, the evicted prefix is
+// replaced by one synthetic stream_checkpoint event carrying its compacted
+// summary. The caller must drain the channel (or use EventsContext to
+// abandon it early).
 func (r *Run) Events() <-chan tune.Event {
-	return r.EventsContext(context.Background())
+	return r.EventsSince(context.Background(), 0)
 }
 
 // EventsContext is Events with a subscription lifetime: the stream closes
 // early when ctx is cancelled, releasing the subscription's goroutine.
 func (r *Run) EventsContext(ctx context.Context) <-chan tune.Event {
+	return r.EventsSince(ctx, 0)
+}
+
+// EventsSince streams the run's events with Seq > after — the resume form
+// behind SSE Last-Event-ID. Three regimes:
+//
+//   - after within the ring: the subscriber gets the retained tail and then
+//     follows live. Reconnecting clients lose nothing.
+//   - after (or the whole requested prefix) already evicted: the first
+//     delivered event is a synthetic StreamCheckpoint whose Summary compacts
+//     everything through its Seq; retained events follow from Seq+1.
+//   - a live subscriber consuming slower than the session appends, once the
+//     ring laps it: a synthetic StreamLagged (Summary plus Dropped count)
+//     tells it what it missed, then the stream continues from the ring.
+//
+// Synthetic events are per-subscriber and never retained; a subscriber that
+// keeps up never sees one. The channel closes after SessionDone or when ctx
+// is cancelled.
+func (r *Run) EventsSince(ctx context.Context, after int) <-chan tune.Event {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make(chan tune.Event)
+	r.mu.Lock()
+	r.subs++
+	r.mu.Unlock()
 	go func() {
 		defer close(out)
-		sent := 0
+		defer func() {
+			r.mu.Lock()
+			r.subs--
+			r.mu.Unlock()
+		}()
+		sent := after     // Seq of the last event delivered (or resumed past)
+		caughtUp := false // true once this subscriber has observed ring state
 		for {
 			r.mu.Lock()
-			batch := r.log[sent:len(r.log):len(r.log)]
+			var synth *tune.Event
+			if oldest := r.oldestLocked(); sent < oldest-1 {
+				// The events after sent were evicted: compact them into one
+				// synthetic event. A fresh or reconnecting subscriber gets a
+				// checkpoint; one that was already attached and fell behind
+				// gets a lagged notice with its personal drop count.
+				sum := r.summary
+				kind := tune.StreamCheckpoint
+				if caughtUp {
+					kind = tune.StreamLagged
+					sum.Dropped = oldest - 1 - sent
+				}
+				synth = &tune.Event{Kind: kind, Seq: sum.CoveredThrough, Summary: &sum}
+				sent = oldest - 1
+			}
+			batch := r.tailLocked(sent)
 			notify := r.notify
 			finished := r.finished
 			r.mu.Unlock()
-			for _, ev := range batch {
+			caughtUp = true
+			if synth != nil {
 				select {
-				case out <- ev:
-					sent++
+				case out <- *synth:
 				case <-ctx.Done():
 					return
 				}
 			}
-			if len(batch) == 0 {
+			for _, ev := range batch {
+				select {
+				case out <- ev:
+					sent = ev.Seq
+				case <-ctx.Done():
+					return
+				}
+			}
+			if synth == nil && len(batch) == 0 {
 				if finished {
 					return
 				}

@@ -37,6 +37,33 @@ type Job struct {
 	// means the record has been handed off. Failed or cancelled runs are
 	// not archived. The callback owns durability and error handling.
 	Archive func(tune.SessionRecord)
+	// EventBuffer bounds how many events the run handle retains for replay
+	// (0 = DefaultEventBuffer, negative = unbounded). Events evicted from
+	// the buffer are folded into a compacted stream checkpoint, so late or
+	// slow subscribers of a long session receive a summary plus the tail
+	// instead of stalling the run or growing memory without bound.
+	EventBuffer int
+	// Checkpoint, when non-nil, receives the session's resumable state at
+	// every batch/rung boundary (throttled by CheckpointEvery) — the hook
+	// crash-resumable services persist through. Only offered for targets
+	// with index-keyed noise (tune.ConcurrentTarget): without run-index
+	// determinism a resumed session could not reproduce the uninterrupted
+	// one. The snapshot's Trials alias live session state; the callback
+	// must copy what it keeps (tune.CheckpointState.Replay does) and runs
+	// on the driver goroutine, so slow sinks stall the session, not other
+	// sessions.
+	Checkpoint func(tune.CheckpointState)
+	// CheckpointEvery throttles Checkpoint: at least this many new trials
+	// must have been observed since the last snapshot (0 = every boundary).
+	CheckpointEvery int
+	// Replay, when non-empty, resumes an interrupted session: the recorded
+	// observations are fed back to a fresh proposer in order (re-emitting
+	// their events) before any new evaluation, and the target's reserved-
+	// run counter is restored, so the continued session is identical to an
+	// uninterrupted run at the same seed. The replay must come from a
+	// checkpoint of the same spec; a divergence (the fresh proposer
+	// proposing something other than the recorded history) fails the run.
+	Replay *tune.Replay
 }
 
 // names returns the job's repository system/workload naming, deriving

@@ -28,6 +28,9 @@ func (c Config) Vector() []float64 {
 	return out
 }
 
+// Dims returns the number of parameters (zero for the invalid Config).
+func (c Config) Dims() int { return len(c.x) }
+
 // at returns the parameter and raw coordinate for name, panicking on unknown
 // names — tuners and systems agree on spaces at construction time, so an
 // unknown name is a programming error, not an input error.

@@ -29,6 +29,56 @@ const (
 	SessionDone EventKind = "session_done"
 )
 
+// Synthetic stream events emitted by bounded-memory subscriptions and the
+// daemon, never by a session itself. They are per-subscriber — two
+// subscribers of the same run may see different synthetic events depending
+// on how far each fell behind — so they are not part of the deterministic
+// recorded sequence and carry no trial payload.
+const (
+	// StreamCheckpoint opens a subscription whose requested offset has been
+	// compacted out of the bounded event buffer: its Summary folds every
+	// evicted event (incumbent-so-far, trial counts, pruned/rung counts,
+	// sim time), and Seq is the last event the summary covers, so the
+	// events that follow continue seamlessly from Seq+1.
+	StreamCheckpoint EventKind = "stream_checkpoint"
+	// StreamLagged tells a live subscriber that it consumed too slowly and
+	// the events between its position and the buffer's oldest retained
+	// event were dropped. Summary covers everything through Seq; Dropped
+	// counts the events this subscriber missed.
+	StreamLagged EventKind = "stream_lagged"
+	// Draining is the terminal event a daemon writes on every open SSE
+	// stream when it begins a graceful shutdown: the session is being
+	// checkpointed and will resume on the next daemon start; clients should
+	// reconnect (with Last-Event-ID) after the restart.
+	Draining EventKind = "draining"
+)
+
+// StreamSummary is the compacted replacement for a prefix of a session's
+// event stream: applying it, then every event after CoveredThrough, leaves a
+// client in the same state as replaying the full stream.
+type StreamSummary struct {
+	// CoveredThrough is the last event Seq folded into this summary.
+	CoveredThrough int `json:"covered_through"`
+	// TrialsDone counts TrialDone events in the covered prefix.
+	TrialsDone int `json:"trials_done"`
+	// TrialsPruned and RungsDecided summarize TrialPruned events in the
+	// covered prefix (rungs counted as maximal pruned-event groups).
+	TrialsPruned int `json:"trials_pruned,omitempty"`
+	RungsDecided int `json:"rungs_decided,omitempty"`
+	// SimTimeUsed is the cumulative simulated seconds after the last
+	// covered TrialDone.
+	SimTimeUsed float64 `json:"sim_time_used,omitempty"`
+	// BestTrial/BestConfig/BestResult carry the last covered
+	// IncumbentImproved (absent when the prefix contains none — a later,
+	// still-buffered incumbent event then supplies it).
+	BestTrial  int               `json:"best_trial,omitempty"`
+	BestConfig map[string]string `json:"best_config,omitempty"`
+	BestResult *Result           `json:"best_result,omitempty"`
+	// Dropped is set on StreamLagged only: how many events this subscriber
+	// missed between its position and the summary's coverage.
+	Dropped int `json:"dropped,omitempty"`
+}
+
 // Event is one entry in a session's ordered event stream. Which fields are
 // populated depends on Kind: trial events carry Trial/Config (and, once
 // evaluated, Result and the cumulative SimTimeUsed); SessionDone carries
@@ -51,6 +101,10 @@ type Event struct {
 	Final *TuningResult
 	// Err is the session failure (SessionDone on error).
 	Err error
+	// Summary is the compacted prefix carried by the synthetic
+	// StreamCheckpoint/StreamLagged events (nil on all session events, so
+	// recorded streams marshal unchanged).
+	Summary *StreamSummary
 }
 
 // eventJSON is the wire form of an Event.
@@ -64,6 +118,7 @@ type eventJSON struct {
 	SimTimeUsed float64           `json:"sim_time_used,omitempty"`
 	Final       *TuningResult     `json:"final,omitempty"`
 	Err         string            `json:"error,omitempty"`
+	Summary     *StreamSummary    `json:"summary,omitempty"`
 }
 
 // MarshalJSON renders the event with only the fields its kind populates;
@@ -83,6 +138,8 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		if e.Err != nil {
 			j.Err = e.Err.Error()
 		}
+	case StreamCheckpoint, StreamLagged:
+		j.Summary = e.Summary
 	}
 	return json.Marshal(j)
 }

@@ -1,0 +1,177 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/tune"
+)
+
+// This file is the session-checkpoint store: the crash-resume state of
+// in-flight tuning sessions, persisted alongside the archive so a restarted
+// daemon can pick interrupted work back up. Checkpoints are not WAL records —
+// each lives in its own file under checkpoints/, replaced whole via
+// tmp+rename+fsync on every update, so the newest complete checkpoint always
+// survives a crash (a torn write loses at most the in-progress update, never
+// the previous one).
+
+const checkpointDir = "checkpoints"
+
+// SessionCheckpoint is the durable resume state of one in-flight daemon
+// session: the original submission spec (verbatim, so the daemon can rebuild
+// the identical job) plus the observation replay captured at the last
+// batch/rung boundary. An empty Replay is valid — it marks a session that
+// was admitted but had not completed a boundary yet, which resumes from the
+// beginning.
+type SessionCheckpoint struct {
+	// SID is the daemon session id the checkpoint belongs to.
+	SID string `json:"sid"`
+	// Spec is the original POST /sessions body.
+	Spec json.RawMessage `json:"spec"`
+	// Replay is the checkpointed observation history (see tune.Replay).
+	Replay tune.Replay `json:"replay"`
+	// Trials mirrors len(Replay.Trials) for listings without decoding the
+	// full history.
+	Trials int `json:"trials"`
+	// UpdatedAt is when this checkpoint was written.
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// checkpointPath returns the file for sid, rejecting ids that would escape
+// the checkpoints directory. Daemon session ids are decimal integers; anything
+// else is refused rather than sanitized.
+func (s *FileStore) checkpointPath(sid string) (string, error) {
+	if sid == "" || strings.ContainsAny(sid, "/\\.") {
+		return "", fmt.Errorf("store: invalid checkpoint session id %q", sid)
+	}
+	return filepath.Join(s.dir, checkpointDir, sid+".json"), nil
+}
+
+// SaveCheckpoint durably writes (or replaces) the checkpoint for cp.SID.
+func (s *FileStore) SaveCheckpoint(cp SessionCheckpoint) error {
+	path, err := s.checkpointPath(cp.SID)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("store: encoding checkpoint %s: %w", cp.SID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.dir)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing checkpoint %s: %w", cp.SID, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing checkpoint %s: %w", cp.SID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsyncing checkpoint %s: %w", cp.SID, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing checkpoint %s: %w", cp.SID, err)
+	}
+	// The rename is the commit point, same discipline as the snapshot.
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing checkpoint %s: %w", cp.SID, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Checkpoints returns every persisted session checkpoint, ordered by session
+// id (numeric ids numerically, so resumed sessions re-admit in submission
+// order). Unreadable or corrupt files are skipped — a torn .tmp left by a
+// crash must not block recovery of the valid checkpoints beside it.
+func (s *FileStore) Checkpoints() ([]SessionCheckpoint, error) {
+	s.mu.Lock()
+	dir := filepath.Join(s.dir, checkpointDir)
+	s.mu.Unlock()
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: reading checkpoints: %w", err)
+	}
+	var out []SessionCheckpoint
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var cp SessionCheckpoint
+		if err := json.Unmarshal(data, &cp); err != nil || cp.SID == "" {
+			continue
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return sidLess(out[i].SID, out[j].SID) })
+	return out, nil
+}
+
+// sidLess orders session ids naturally: ids sharing a prefix with numeric
+// suffixes (the daemon's "s1", "s2", … "s10") compare by number, everything
+// else lexically — so resumed sessions re-admit in submission order.
+func sidLess(a, b string) bool {
+	pa, na, aok := splitSid(a)
+	pb, nb, bok := splitSid(b)
+	if aok && bok && pa == pb {
+		return na < nb
+	}
+	return a < b
+}
+
+// splitSid splits a trailing decimal suffix off a session id.
+func splitSid(s string) (prefix string, n int64, ok bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, 0, false
+	}
+	n, err := strconv.ParseInt(s[i:], 10, 64)
+	if err != nil {
+		return s, 0, false
+	}
+	return s[:i], n, true
+}
+
+// DeleteCheckpoint removes sid's checkpoint. Deleting a checkpoint that does
+// not exist is not an error — success, user DELETE, and failure paths all
+// race benignly toward the same end state.
+func (s *FileStore) DeleteCheckpoint(sid string) error {
+	path, err := s.checkpointPath(sid)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: removing checkpoint %s: %w", sid, err)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tune"
+)
+
+func ckpt(sid string, trials int) SessionCheckpoint {
+	cp := SessionCheckpoint{
+		SID:       sid,
+		Spec:      json.RawMessage(`{"system":"dbms"}`),
+		Trials:    trials,
+		UpdatedAt: time.Unix(1700000000, 0).UTC(),
+	}
+	for i := 0; i < trials; i++ {
+		cp.Replay.Trials = append(cp.Replay.Trials, tune.ReplayTrial{
+			Vector: []float64{float64(i) / 10},
+			Result: tune.Result{Time: float64(100 - i)},
+		})
+	}
+	cp.Replay.RunsReserved = int64(trials)
+	return cp
+}
+
+// TestCheckpointRoundTrip: checkpoints survive a save/reopen cycle intact,
+// later saves for the same session replace earlier ones, and deletes (also
+// of absent sessions) are clean.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.SaveCheckpoint(ckpt("s1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(ckpt("s1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := open(t, dir)
+	cps, err := s2.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 {
+		t.Fatalf("loaded %d checkpoints, want 1 (later save replaces earlier)", len(cps))
+	}
+	got := cps[0]
+	want := ckpt("s1", 5)
+	if got.SID != want.SID || got.Trials != 5 || len(got.Replay.Trials) != 5 {
+		t.Fatalf("loaded checkpoint = %+v", got)
+	}
+	for i := range want.Replay.Trials {
+		if got.Replay.Trials[i].Vector[0] != want.Replay.Trials[i].Vector[0] ||
+			got.Replay.Trials[i].Result.Time != want.Replay.Trials[i].Result.Time {
+			t.Fatalf("replay trial %d = %+v, want %+v", i, got.Replay.Trials[i], want.Replay.Trials[i])
+		}
+	}
+	if got.Replay.RunsReserved != 5 {
+		t.Errorf("RunsReserved = %d, want 5", got.Replay.RunsReserved)
+	}
+
+	if err := s2.DeleteCheckpoint("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeleteCheckpoint("s1"); err != nil {
+		t.Fatalf("deleting an absent checkpoint = %v, want nil", err)
+	}
+	if cps, _ := s2.Checkpoints(); len(cps) != 0 {
+		t.Errorf("%d checkpoints after delete", len(cps))
+	}
+}
+
+// TestCheckpointsNaturalOrder: session ids sharing a prefix sort by their
+// numeric suffix — s2 before s10 — so resume order matches creation order.
+func TestCheckpointsNaturalOrder(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, sid := range []string{"s10", "s2", "s1", "cli-dbms-tpch-x"} {
+		if err := s.SaveCheckpoint(ckpt(sid, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cps, err := s.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for _, cp := range cps {
+		order = append(order, cp.SID)
+	}
+	want := []string{"cli-dbms-tpch-x", "s1", "s2", "s10"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("checkpoint order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestCheckpointsSkipCorrupt: a torn or garbage checkpoint file (the crash
+// window) is skipped, not fatal — the healthy checkpoints still load.
+func TestCheckpointsSkipCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.SaveCheckpoint(ckpt("s1", 3)); err != nil {
+		t.Fatal(err)
+	}
+	cdir := filepath.Join(dir, "checkpoints")
+	if err := os.WriteFile(filepath.Join(cdir, "torn.json"), []byte(`{"sid":"s9","re`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, "nosid.json"), []byte(`{"trials":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cdir, "notes.txt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cps, err := s.Checkpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].SID != "s1" {
+		t.Fatalf("checkpoints with corrupt neighbors = %+v, want just s1", cps)
+	}
+}
+
+// TestCheckpointRejectsUnsafeSIDs: ids that could escape the checkpoint
+// directory are refused.
+func TestCheckpointRejectsUnsafeSIDs(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, sid := range []string{"", "../escape", "a/b", `a\b`, "dot.dot"} {
+		if err := s.SaveCheckpoint(ckpt(sid, 1)); err == nil {
+			t.Errorf("SaveCheckpoint(%q) accepted an unsafe sid", sid)
+		}
+		if err := s.DeleteCheckpoint(sid); err == nil {
+			t.Errorf("DeleteCheckpoint(%q) accepted an unsafe sid", sid)
+		}
+	}
+}

@@ -50,6 +50,15 @@ type Store interface {
 	Delete(id int64) error
 	// Compact folds the log into the snapshot and truncates it.
 	Compact() error
+	// SaveCheckpoint durably writes (or replaces) an in-flight session's
+	// resume state; see SessionCheckpoint.
+	SaveCheckpoint(cp SessionCheckpoint) error
+	// Checkpoints returns every persisted session checkpoint in session-id
+	// order.
+	Checkpoints() ([]SessionCheckpoint, error)
+	// DeleteCheckpoint removes a session's checkpoint; removing a missing
+	// checkpoint is not an error.
+	DeleteCheckpoint(sid string) error
 	// Close releases the store's file handles. The store stays loadable.
 	Close() error
 }

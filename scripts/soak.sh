@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# soak.sh — load/survivability benchmark for the autotuned daemon.
+#
+# Boots one autotuned with a session cap, then drives it with autotune-soak:
+# hundreds of concurrent sessions submitted, streamed to completion over SSE,
+# and deleted, while the harness samples the daemon's RSS and measures
+# submit→first-event latency. A final flood phase bursts submissions past
+# -max-sessions to prove overload is shed with 429s, never 5xx or OOM.
+#
+# Usage:
+#   scripts/soak.sh           full run (500 sessions) → BENCH_pr8.json
+#   scripts/soak.sh short     CI smoke (50 sessions, tight gates, report
+#                             to a temp dir only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=${1:-full}
+ADDR=127.0.0.1:8341
+
+if [ "$MODE" = short ]; then
+  SESSIONS=50 CONCURRENCY=25 TRIALS=4 MAX_SESSIONS=40 FLOOD=60
+  P99_MS=5000 RSS_PEAK_MB=512 OUT=""
+else
+  SESSIONS=500 CONCURRENCY=120 TRIALS=4 MAX_SESSIONS=150 FLOOD=200
+  P99_MS=10000 RSS_PEAK_MB=1024 OUT="BENCH_pr8.json"
+fi
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/autotuned" ./cmd/autotuned
+go build -o "$workdir/autotune-soak" ./cmd/autotune-soak
+
+"$workdir/autotuned" -addr "$ADDR" -max-sessions "$MAX_SESSIONS" \
+  -event-buffer 1024 >"$workdir/daemon.log" 2>&1 &
+daemon_pid=$!
+pids+=($daemon_pid)
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+report=${OUT:-$workdir/soak.json}
+"$workdir/autotune-soak" \
+  -url "http://$ADDR" \
+  -sessions "$SESSIONS" -concurrency "$CONCURRENCY" -trials "$TRIALS" \
+  -system dbms -workload tpch -tuner random \
+  -daemon-pid "$daemon_pid" -flood "$FLOOD" \
+  -assert-p99-ms "$P99_MS" -assert-rss-peak-mb "$RSS_PEAK_MB" \
+  -out "$report"
+
+# The flood must have been shed at the door: with SESSIONS deleted and the
+# cap at MAX_SESSIONS, a burst of FLOOD concurrent POSTs has to trip it.
+rejected=$(grep -o '"rejected": *[0-9]*' "$report" | head -1 | grep -o '[0-9]*')
+if [ "${rejected:-0}" -eq 0 ]; then
+  echo "FAIL: flood of $FLOOD submissions past -max-sessions=$MAX_SESSIONS drew no 429s" >&2
+  exit 1
+fi
+
+# The daemon must still be alive and healthy after the beating.
+curl -sf "http://$ADDR/healthz" | grep -q '"status":"ok"'
+
+echo "soak passed ($MODE): $SESSIONS sessions, flood rejected=$rejected, report=$report"
