@@ -47,6 +47,7 @@ func main() {
 		trials    = flag.Int("trials", 30, "trial budget (real runs)")
 		parallel  = flag.Int("parallel", 1, "worker count for batch trial evaluation (same result at any value)")
 		memo      = flag.Bool("memo", false, "memoize repeat evaluations of identical configurations")
+		memoCap   = flag.Int("memo-cap", 0, "bound the memo cache to N results with cost-aware GDSF eviction (0 = unbounded; implies -memo)")
 		seed      = flag.Int64("seed", 42, "random seed")
 		scale     = flag.Float64("scale", 0, "input scale in GB (0 = default)")
 		nodes     = flag.Int("nodes", 16, "cluster size for distributed systems")
@@ -123,8 +124,16 @@ func main() {
 			fatal(err)
 		}
 		defer st.Close()
-		repo = st.Repository()
-		fmt.Printf("repository %s: %d past sessions\n", *repoDir, len(repo.Sessions))
+		// Only repository-driven tuners need every past session in memory;
+		// warm start runs on the store's feature index, so a million-session
+		// repository opens in index-read time on the common path.
+		if repro.TunerNeedsRepository(*tuner) {
+			repo, err = st.Repository()
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("repository %s: %d past sessions\n", *repoDir, st.Len())
 	}
 
 	var surSpec *repro.SurrogateSpec
@@ -143,7 +152,7 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot warm-start", *tuner))
 		}
-		seeds := tune.WarmConfigs(repo, *system, features, target.Space(), repro.WarmSeeds)
+		seeds := st.WarmConfigs(*system, features, target.Space(), repro.WarmSeeds)
 		tn = tune.WarmStartTuner(bt, seeds)
 		fmt.Printf("warm start: %d configurations transferred from the nearest past workload\n", len(seeds))
 	}
@@ -195,7 +204,7 @@ func main() {
 		}
 	}
 	eng := repro.NewEngine(repro.EngineOptions{
-		Workers: *parallel, Cache: *memo, Remote: remote,
+		Workers: *parallel, Cache: *memo, CacheCap: *memoCap, Remote: remote,
 		Checkpoint: ckptHook, Replay: replay,
 	})
 	budget := tune.Budget{Trials: *trials}

@@ -36,6 +36,7 @@
 //	GET    /repository/sessions/{id}  one full archived record
 //	POST   /repository/sessions       archive a tune.SessionRecord directly
 //	DELETE /repository/sessions/{id}  remove an archived record
+//	POST   /repository/nearest        indexed nearest-workload lookup
 package daemon
 
 import (
@@ -233,6 +234,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /repository/sessions", s.repoAdd)
 	mux.HandleFunc("GET /repository/sessions/{id}", s.repoGet)
 	mux.HandleFunc("DELETE /repository/sessions/{id}", s.repoDelete)
+	mux.HandleFunc("POST /repository/nearest", s.repoNearest)
 	return mux
 }
 
@@ -325,7 +327,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	mem.HeapSysBytes = ms.HeapSys
 	repo := repoSummaryz{Enabled: s.repo != nil}
 	if s.repo != nil {
-		repo.Sessions = len(s.repo.Sessions())
+		repo.Sessions = s.repo.Len()
 	}
 	var fleet fleetSummary
 	for _, h := range s.pool.Health(r.Context()) {
@@ -476,11 +478,20 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 func (s *Server) startSession(spec repro.Spec, sid string, replay *tune.Replay, resumed bool) (*session, error) {
 	sess := &session{Created: time.Now(), Resumed: resumed}
 	var repo *repro.Repository
+	var warm tune.WarmSource
 	var archive func(repro.SessionRecord)
 	if s.repo != nil {
-		// The corpus is snapshotted at submission: history archived while
-		// this session runs does not retroactively change its transfer.
-		repo = s.repo.Repository()
+		// Warm-start transfer runs on the store's feature index; only
+		// repository-driven tuners get the corpus materialized. Either way
+		// history is snapshotted at submission: sessions archived while this
+		// one runs do not retroactively change its transfer.
+		if repro.TunerNeedsRepository(spec.Tuner) {
+			var rerr error
+			if repo, rerr = s.repo.Repository(); rerr != nil {
+				return nil, fmt.Errorf("loading repository corpus: %w", rerr)
+			}
+		}
+		warm = s.repo
 		archive = func(rec repro.SessionRecord) {
 			id, err := s.repo.Append(rec)
 			sess.mu.Lock()
@@ -488,7 +499,7 @@ func (s *Server) startSession(spec repro.Spec, sid string, replay *tune.Replay, 
 			sess.mu.Unlock()
 		}
 	}
-	job, err := spec.JobWith(repo, archive)
+	job, err := spec.JobWithWarm(repo, warm, archive)
 	if err != nil {
 		return nil, err
 	}
@@ -815,29 +826,6 @@ func (s *Server) Draining() bool {
 
 // —— repository endpoints ——————————————————————————————————————————————————
 
-// repoSummary is the wire form of one archived session in listings.
-type repoSummary struct {
-	ID       int64  `json:"id"`
-	System   string `json:"system"`
-	Workload string `json:"workload"`
-	Trials   int    `json:"trials"`
-	// BestTime is the best non-failed trial's objective (0 if none).
-	BestTime float64 `json:"best_time,omitempty"`
-}
-
-func summarize(st store.Stored) repoSummary {
-	sum := repoSummary{
-		ID:       st.ID,
-		System:   st.Record.System,
-		Workload: st.Record.Workload,
-		Trials:   len(st.Record.Trials),
-	}
-	if at := st.Record.BestTrial(); at >= 0 {
-		sum.BestTime = st.Record.Trials[at].Time
-	}
-	return sum
-}
-
 // needRepo 404s repository routes on a daemon started without -repo.
 func (s *Server) needRepo(w http.ResponseWriter) bool {
 	if s.repo == nil {
@@ -861,12 +849,43 @@ func (s *Server) repoList(w http.ResponseWriter, r *http.Request) {
 	if !s.needRepo(w) {
 		return
 	}
-	sessions := s.repo.Sessions()
-	out := make([]repoSummary, len(sessions))
-	for i, st := range sessions {
-		out[i] = summarize(st)
+	// Summaries come straight off the store's segment indexes — no record
+	// payload is read, so listing stays cheap at any corpus size.
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.repo.Summaries()})
+}
+
+// repoNearest answers a workload-similarity probe against the store's
+// feature index: given a system and a feature map, it returns the archived
+// session whose workload is nearest under the repository's scaled feature
+// distance — the same ordering warm start uses — without materializing the
+// corpus.
+func (s *Server) repoNearest(w http.ResponseWriter, r *http.Request) {
+	if !s.needRepo(w) {
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+	var in struct {
+		System   string             `json:"system"`
+		Features map[string]float64 `json:"features"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding nearest query: %w", err))
+		return
+	}
+	if in.System == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("a nearest query names a system"))
+		return
+	}
+	sum, ok := s.repo.Nearest(in.System, in.Features)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no archived sessions for system %q", in.System))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": sum,
+		"url":     fmt.Sprintf("/repository/sessions/%d", sum.ID),
+	})
 }
 
 func (s *Server) repoGet(w http.ResponseWriter, r *http.Request) {
@@ -877,7 +896,11 @@ func (s *Server) repoGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, ok := s.repo.Get(id)
+	st, ok, err := s.repo.Get(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no repository session %d", id))
 		return

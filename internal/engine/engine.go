@@ -45,6 +45,15 @@ type Options struct {
 	// (e.g. multi-probe trace capture) — without the cache the engine
 	// reproduces the blocking facade exactly.
 	Cache bool
+	// CacheCap bounds the memo cache to this many retained results,
+	// evicting by cost-aware GDSF (see gdsfMemo): entries are valued by
+	// hit frequency × simulated seconds a hit saves, with an aging clock
+	// so stale expensive entries eventually yield. 0 keeps the historical
+	// unbounded map. Setting CacheCap implies Cache. The retained set and
+	// all results remain deterministic at any worker count — eviction
+	// decisions happen in batch order on the driver goroutine, with exact
+	// priority ties broken by insertion order.
+	CacheCap int
 	// Remote, when non-nil, adds a remote evaluator fleet's slots to every
 	// batch fan-out of Tune/Drive/DriveFidelity. The backend is bound to
 	// one target's sysmodel, so it applies to direct single-session calls
@@ -64,6 +73,7 @@ type Options struct {
 type Engine struct {
 	workers    int
 	cache      bool
+	cacheCap   int           // >0: bounded GDSF memo instead of the map
 	remote     RemoteBackend // nil: all evaluation is local
 	sem        chan struct{} // scheduler slots for Submit/RunJobs
 	checkpoint func(tune.CheckpointState)
@@ -78,7 +88,8 @@ func New(o Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		workers: w, cache: o.Cache, remote: o.Remote, sem: make(chan struct{}, w),
+		workers: w, cache: o.Cache || o.CacheCap > 0, cacheCap: o.CacheCap,
+		remote: o.Remote, sem: make(chan struct{}, w),
 		checkpoint: o.Checkpoint, ckptEvery: o.CheckpointEvery, replay: o.Replay,
 	}
 }
@@ -218,8 +229,8 @@ type evaluator struct {
 	target  tune.Target
 	ct      tune.ConcurrentTarget // nil: evaluate sequentially
 	workers int
-	remote  RemoteBackend          // nil: all evaluation local
-	cache   map[string]tune.Result // nil: cache disabled
+	remote  RemoteBackend // nil: all evaluation local
+	cache   memo          // nil: cache disabled
 }
 
 func (e *Engine) newEvaluator(target tune.Target) *evaluator {
@@ -233,7 +244,11 @@ func (e *Engine) newEvaluator(target tune.Target) *evaluator {
 		ev.remote = e.remote
 	}
 	if e.cache {
-		ev.cache = make(map[string]tune.Result)
+		if e.cacheCap > 0 {
+			ev.cache = newGDSFMemo(e.cacheCap)
+		} else {
+			ev.cache = newMapMemo()
+		}
 	}
 	return ev
 }
@@ -263,7 +278,7 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) ([]tune.R
 			continue
 		}
 		keys[i] = configKey(cfg)
-		if r, ok := ev.cache[keys[i]]; ok {
+		if r, ok := ev.cache.get(keys[i]); ok {
 			results[i] = r
 			keys[i] = "" // already memoized; nothing to store later
 			continue
@@ -352,7 +367,7 @@ func (ev *evaluator) runBatch(ctx context.Context, cfgs []tune.Config) ([]tune.R
 		if dupOf[i] >= 0 {
 			results[i] = results[dupOf[i]]
 		} else if ev.cache != nil && keys[i] != "" {
-			ev.cache[keys[i]] = results[i]
+			ev.cache.put(keys[i], results[i])
 		}
 	}
 	return results, nil

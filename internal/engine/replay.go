@@ -88,7 +88,7 @@ func replayDrive(s *tune.Session, p tune.Proposer, ev *evaluator, rep *tune.Repl
 				return replayErr(i, len(rep.Trials), "fresh proposer diverged from the checkpointed history (spec, seed, or warm-start corpus changed since the checkpoint)")
 			}
 			if ev.cache != nil {
-				ev.cache[configKey(cfg)] = rt.Result
+				ev.cache.put(configKey(cfg), rt.Result)
 			}
 			p.Observe(s.RecordExternal(cfg, rt.Result))
 			i++

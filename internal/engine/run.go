@@ -145,8 +145,13 @@ func (r *Run) run(e *Engine, record bool) {
 	// Deliberately job.Remote only — never the engine's: an engine-level
 	// backend is bound to one target's sysmodel and would evaluate other
 	// jobs' trials against the wrong system.
+	memoCap := r.job.MemoCap
+	if memoCap == 0 {
+		memoCap = e.cacheCap
+	}
 	sub := &Engine{
-		workers: workers, cache: e.cache || r.job.Memo, remote: r.job.Remote,
+		workers: workers, cache: e.cache || r.job.Memo || memoCap > 0, cacheCap: memoCap,
+		remote:     r.job.Remote,
 		sem:        make(chan struct{}, workers),
 		checkpoint: r.job.Checkpoint, ckptEvery: r.job.CheckpointEvery, replay: r.job.Replay,
 	}

@@ -22,6 +22,10 @@ type Job struct {
 	// Memo opts this job into the config-keyed result memo cache even
 	// when the engine's cache is off.
 	Memo bool
+	// MemoCap bounds this job's memo cache to the given entry count with
+	// cost-aware GDSF eviction (see Options.CacheCap); >0 implies Memo,
+	// 0 inherits the engine's CacheCap (which may itself be unbounded).
+	MemoCap int
 	// Remote, when non-nil, adds a remote evaluator fleet's slots to this
 	// job's trial evaluation. The backend must be bound to this job's
 	// target sysmodel (dist.Pool.Backend); results are identical with or

@@ -1,0 +1,576 @@
+package tune
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// This file is the feature-space index behind million-session nearest-workload
+// lookup: a vantage-point tree over normalized workload feature vectors that
+// returns results bit-identical to the linear-scan reference (RankSessions,
+// NearestSession, WarmConfigs — retained as the oracle), while visiting
+// O(log n) candidates per lookup on well-behaved corpora.
+//
+// Equivalence is the design constraint. The reference distance between a
+// query q and a candidate c is
+//
+//	d²(q,c) = Σ_k ((q[k] − c[k]) / s[k])²   over sorted keys k, skipping s[k]=0
+//
+// where s[k] is the max-abs of feature k over the query AND every candidate.
+// Two properties make an index possible without changing a single bit of any
+// result:
+//
+//  1. Keys absent from both q and c contribute exactly +0.0 to the IEEE sum,
+//     so the accumulation over the global sorted key union equals the
+//     accumulation over sorted(keys(q) ∪ keys(c)) — the index evaluates every
+//     candidate it visits with the reference formula itself (same operands,
+//     same order, same float result).
+//  2. The per-key scale is max(buildScale[k], |q[k]|). While every query key
+//     stays within the corpus max (the common case once the corpus has seen a
+//     few sessions), the query metric IS the build metric and triangle-
+//     inequality pruning is sound; query-only keys contribute an exactly-
+//     representable constant per candidate and tighten into the bound. Any
+//     query outside the frozen scale falls back to the linear scan — slower,
+//     never different.
+//
+// Ties break exactly as the oracle's stable sort does: equal distances order
+// by insertion position. The best-first traversal emits (d², index) in
+// ascending lexicographic order, which is precisely that stable order.
+
+// KV is one workload feature as a (key, value) pair. Feature lists handed to
+// the index must be sorted ascending by key.
+type KV struct {
+	K string
+	V float64
+}
+
+// featList converts a feature map into a sorted KV list.
+func featList(m map[string]float64) []KV {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]KV, 0, len(m))
+	for k, v := range m {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// vpLeafSize is the subtree size below which points are stored flat.
+const vpLeafSize = 8
+
+// vpNode is one vantage-point tree node in array encoding.
+type vpNode struct {
+	vp      int32   // vantage point (point index); unused for leaves
+	rIn     float64 // max build-metric distance of the inside partition
+	rOut    float64 // min build-metric distance of the outside partition
+	inside  int32   // node id, -1 = none
+	outside int32   // node id, -1 = none
+	leafPts []int32 // leaf: point indices (nil for internal nodes)
+}
+
+// FeatureIndex is an immutable vantage-point tree over a fixed snapshot of
+// feature vectors. Lookups return exactly what the linear-scan reference
+// returns over the same snapshot, in the same order.
+type FeatureIndex struct {
+	pts   [][]KV
+	scale map[string]float64 // frozen per-key max-abs over pts
+	nodes []vpNode
+	root  int32
+	// degenerate marks a corpus with non-finite feature values: pruning
+	// bounds are meaningless there, so every query takes the scan path
+	// (which replicates the oracle's behavior bit for bit, NaNs included).
+	degenerate bool
+}
+
+// NewFeatureIndex builds an index over the given feature maps. The i-th map
+// keeps identity i in every lookup result.
+func NewFeatureIndex(features []map[string]float64) *FeatureIndex {
+	pts := make([][]KV, len(features))
+	for i, m := range features {
+		pts[i] = featList(m)
+	}
+	return NewFeatureIndexKV(pts)
+}
+
+// NewFeatureIndexKV builds an index over pre-sorted KV feature lists. The
+// caller must not mutate pts afterwards.
+func NewFeatureIndexKV(pts [][]KV) *FeatureIndex {
+	ix := &FeatureIndex{pts: pts, scale: map[string]float64{}, root: -1}
+	for _, p := range pts {
+		for _, kv := range p {
+			if !finite(kv.V) {
+				ix.degenerate = true
+			}
+			if a := math.Abs(kv.V); a > ix.scale[kv.K] {
+				ix.scale[kv.K] = a
+			}
+		}
+	}
+	if ix.degenerate || len(pts) == 0 {
+		return ix
+	}
+	idxs := make([]int32, len(pts))
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	ix.root = ix.build(idxs)
+	return ix
+}
+
+// Len returns the number of indexed points.
+func (ix *FeatureIndex) Len() int { return len(ix.pts) }
+
+// build constructs the subtree over idxs and returns its node id. Vantage
+// selection (first index) and the median split (sorted by distance, then by
+// index) are deterministic, so the tree shape is a pure function of the
+// point set — though no observable result depends on it.
+func (ix *FeatureIndex) build(idxs []int32) int32 {
+	if len(idxs) <= vpLeafSize {
+		ix.nodes = append(ix.nodes, vpNode{leafPts: idxs, inside: -1, outside: -1})
+		return int32(len(ix.nodes) - 1)
+	}
+	vp := idxs[0]
+	rest := idxs[1:]
+	type dc struct {
+		d float64
+		i int32
+	}
+	ds := make([]dc, len(rest))
+	for j, i := range rest {
+		ds[j] = dc{math.Sqrt(ix.buildDist2(ix.pts[vp], ix.pts[i])), i}
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].d != ds[b].d {
+			return ds[a].d < ds[b].d
+		}
+		return ds[a].i < ds[b].i
+	})
+	h := len(ds) / 2
+	in := make([]int32, h)
+	out := make([]int32, len(ds)-h)
+	for j := 0; j < h; j++ {
+		in[j] = ds[j].i
+	}
+	for j := h; j < len(ds); j++ {
+		out[j-h] = ds[j].i
+	}
+	id := int32(len(ix.nodes))
+	ix.nodes = append(ix.nodes, vpNode{}) // reserve the slot; children append after
+	n := vpNode{vp: vp, rIn: ds[h-1].d, rOut: ds[h].d}
+	n.inside = ix.build(in)
+	n.outside = ix.build(out)
+	ix.nodes[id] = n
+	return id
+}
+
+// buildDist2 is the squared build-metric distance between two stored points:
+// the reference formula under the frozen build scale.
+func (ix *FeatureIndex) buildDist2(a, b []KV) float64 {
+	var d float64
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var k string
+		var av, bv float64
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].K < b[j].K):
+			k, av = a[i].K, a[i].V
+			i++
+		case i >= len(a) || b[j].K < a[i].K:
+			k, bv = b[j].K, b[j].V
+			j++
+		default:
+			k, av, bv = a[i].K, a[i].V, b[j].V
+			i++
+			j++
+		}
+		sc := ix.scale[k]
+		if sc == 0 {
+			continue
+		}
+		dd := (av - bv) / sc
+		d += dd * dd
+	}
+	return d
+}
+
+// fiQuery is one prepared lookup: the sorted query features, the per-key
+// scale overrides the query introduces, the exact constant the query-only
+// keys add to every candidate's distance, and whether tree pruning is sound.
+type fiQuery struct {
+	q        []KV
+	override map[string]float64
+	constC   float64
+	fast     bool
+}
+
+// prepare classifies a query against the frozen build scale.
+func (ix *FeatureIndex) prepare(features map[string]float64) *fiQuery {
+	fq := &fiQuery{q: featList(features), fast: !ix.degenerate}
+	for _, kv := range fq.q {
+		if !finite(kv.V) {
+			fq.fast = false
+		}
+		a := math.Abs(kv.V)
+		bs := ix.scale[kv.K]
+		if a > bs {
+			if fq.override == nil {
+				fq.override = map[string]float64{}
+			}
+			fq.override[kv.K] = a
+			if bs > 0 {
+				// A corpus key whose scale the query raises: the query
+				// metric differs from the build metric everywhere, so
+				// pruning bounds built under the old scale are invalid.
+				fq.fast = false
+			} else {
+				// A key no candidate carries: every candidate's term is
+				// (q[k]/|q[k]|)² = exactly 1.0 — a constant that shifts all
+				// distances equally and folds into the pruning bound.
+				fq.constC++
+			}
+		}
+	}
+	return fq
+}
+
+// refDist2 evaluates the reference squared distance between the prepared
+// query and candidate c — bit-identical to the oracle's accumulation.
+func (ix *FeatureIndex) refDist2(fq *fiQuery, c []KV) float64 {
+	var d float64
+	q := fq.q
+	i, j := 0, 0
+	for i < len(q) || j < len(c) {
+		var k string
+		var qv, cv float64
+		switch {
+		case j >= len(c) || (i < len(q) && q[i].K < c[j].K):
+			k, qv = q[i].K, q[i].V
+			i++
+		case i >= len(q) || c[j].K < q[i].K:
+			k, cv = c[j].K, c[j].V
+			j++
+		default:
+			k, qv, cv = q[i].K, q[i].V, c[j].V
+			i++
+			j++
+		}
+		sc := ix.scale[k]
+		if fq.override != nil {
+			if o, ok := fq.override[k]; ok {
+				sc = o
+			}
+		}
+		if sc == 0 {
+			continue
+		}
+		dd := (qv - cv) / sc
+		d += dd * dd
+	}
+	return d
+}
+
+// shrink turns a mathematically-true lower bound into a float-safe one: the
+// triangle inequality holds in real arithmetic, so a relative-plus-absolute
+// margin absorbs the rounding of the handful of additions behind each bound.
+// Margins only weaken pruning; they can never exclude a true candidate.
+func shrink(x float64) float64 {
+	x = x*(1-1e-9) - 1e-12
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// fiItem is one frontier entry of the best-first traversal: either a tree
+// node (key = lower bound on any reference d² inside it) or an evaluated
+// point (key = its exact reference d²).
+type fiItem struct {
+	key  float64
+	lb   float64 // nodes: build-metric lower bound, for child derivation
+	node int32   // -1 for points
+	pt   int32
+}
+
+type fiHeap []fiItem
+
+func (h fiHeap) Len() int { return len(h) }
+func (h fiHeap) Less(a, b int) bool {
+	x, y := h[a], h[b]
+	if x.key != y.key {
+		return x.key < y.key
+	}
+	xn, yn := x.node >= 0, y.node >= 0
+	if xn != yn {
+		// A node whose bound ties a point's exact distance may still hide an
+		// equal-distance point with a smaller index: expand it first.
+		return xn
+	}
+	if xn {
+		return x.node < y.node
+	}
+	return x.pt < y.pt
+}
+func (h fiHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *fiHeap) Push(x any)   { *h = append(*h, x.(fiItem)) }
+func (h *fiHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// fiIter yields point indices in ascending (reference d², index) order — the
+// oracle's exact ranking — lazily, so prefix consumers (nearest, warm-start)
+// touch O(log n) points.
+type fiIter struct {
+	ix *FeatureIndex
+	fq *fiQuery
+	h  fiHeap
+	// scan-path state (nil order means the tree path is in use)
+	order []int
+	dist  []float64
+	at    int
+}
+
+// iter starts a traversal for the prepared query.
+func (ix *FeatureIndex) iter(fq *fiQuery) *fiIter {
+	it := &fiIter{ix: ix, fq: fq}
+	if !fq.fast || ix.root < 0 {
+		// Linear-scan path: replicate the oracle verbatim — distances by the
+		// reference formula, order by its stable sort — so even adversarial
+		// inputs (NaN features, scale-raising queries) match bit for bit.
+		it.dist = make([]float64, len(ix.pts))
+		for i := range ix.pts {
+			it.dist[i] = ix.refDist2(fq, ix.pts[i])
+		}
+		it.order = make([]int, len(ix.pts))
+		for i := range it.order {
+			it.order[i] = i
+		}
+		sort.SliceStable(it.order, func(a, b int) bool {
+			return it.dist[it.order[a]] < it.dist[it.order[b]]
+		})
+		return it
+	}
+	it.h = fiHeap{{key: fq.constC, lb: 0, node: ix.root, pt: -1}}
+	return it
+}
+
+// next returns the next point in rank order.
+func (it *fiIter) next() (pt int, d2 float64, ok bool) {
+	if it.order != nil || it.h == nil {
+		if it.at >= len(it.order) {
+			return 0, 0, false
+		}
+		i := it.order[it.at]
+		it.at++
+		return i, it.dist[i], true
+	}
+	for len(it.h) > 0 {
+		top := heap.Pop(&it.h).(fiItem)
+		if top.node < 0 {
+			return int(top.pt), top.key, true
+		}
+		it.expand(top)
+	}
+	return 0, 0, false
+}
+
+// expand evaluates a node's vantage point exactly and pushes its children
+// with triangle-inequality bounds under the build metric.
+func (it *fiIter) expand(item fiItem) {
+	ix, fq := it.ix, it.fq
+	n := &ix.nodes[item.node]
+	if n.leafPts != nil {
+		for _, p := range n.leafPts {
+			heap.Push(&it.h, fiItem{key: ix.refDist2(fq, ix.pts[p]), node: -1, pt: p})
+		}
+		return
+	}
+	heap.Push(&it.h, fiItem{key: ix.refDist2(fq, ix.pts[n.vp]), node: -1, pt: n.vp})
+	dq := math.Sqrt(ix.buildDist2(fq.q, ix.pts[n.vp]))
+	push := func(node int32, lb float64) {
+		if node < 0 {
+			return
+		}
+		if lb < item.lb {
+			lb = item.lb // a parent's bound constrains every descendant
+		}
+		m := shrink(lb)
+		heap.Push(&it.h, fiItem{key: m*m + fq.constC, lb: lb, node: node, pt: -1})
+	}
+	push(n.inside, dq-n.rIn)
+	push(n.outside, n.rOut-dq)
+}
+
+// Walk yields (index, reference d²) in exactly the oracle's rank order until
+// yield returns false.
+func (ix *FeatureIndex) Walk(features map[string]float64, yield func(i int, d2 float64) bool) {
+	it := ix.iter(ix.prepare(features))
+	for {
+		i, d2, ok := it.next()
+		if !ok || !yield(i, d2) {
+			return
+		}
+	}
+}
+
+// Nearest returns the index of the nearest point (ties toward the lower
+// index), or -1 for an empty index.
+func (ix *FeatureIndex) Nearest(features map[string]float64) int {
+	at := -1
+	ix.Walk(features, func(i int, _ float64) bool { at = i; return false })
+	return at
+}
+
+// Rank returns every point index in the oracle's rank order.
+func (ix *FeatureIndex) Rank(features map[string]float64) []int {
+	out := make([]int, 0, len(ix.pts))
+	ix.Walk(features, func(i int, _ float64) bool { out = append(out, i); return true })
+	return out
+}
+
+// CorpusIndex maintains per-system feature indexes over a growing corpus:
+// an immutable tree over the prefix seen at the last rebuild plus a small
+// linear tail of recent additions, rebuilt when the tail outgrows its bound
+// or an addition raises a frozen scale. Lookups merge tree and tail in exact
+// oracle order. Not safe for concurrent use; owners guard it.
+type CorpusIndex struct {
+	sys map[string]*sysCorpus
+}
+
+type sysCorpus struct {
+	feats [][]KV
+	poss  []int
+	idx   *FeatureIndex // over feats[:built]; nil before the first lookup
+	built int
+	// stale forces a rebuild before the next lookup: an addition raised a
+	// frozen per-key scale (the tree's geometry no longer bounds the new
+	// metric) or carried a non-finite value.
+	stale bool
+}
+
+// NewCorpusIndex returns an empty corpus index.
+func NewCorpusIndex() *CorpusIndex { return &CorpusIndex{sys: map[string]*sysCorpus{}} }
+
+// Add appends one session's features under its system. pos is the opaque
+// caller position handed back by Walk.
+func (ci *CorpusIndex) Add(system string, features map[string]float64, pos int) {
+	ci.AddKV(system, featList(features), pos)
+}
+
+// AddKV is Add for a pre-sorted feature list (not mutated afterwards).
+func (ci *CorpusIndex) AddKV(system string, kvs []KV, pos int) {
+	s := ci.sys[system]
+	if s == nil {
+		s = &sysCorpus{}
+		ci.sys[system] = s
+	}
+	if s.idx != nil {
+		for _, kv := range kvs {
+			if !finite(kv.V) || math.Abs(kv.V) > s.idx.scale[kv.K] {
+				s.stale = true
+				break
+			}
+		}
+	}
+	s.feats = append(s.feats, kvs)
+	s.poss = append(s.poss, pos)
+}
+
+// Len returns how many sessions the system holds.
+func (ci *CorpusIndex) Len(system string) int {
+	if s := ci.sys[system]; s != nil {
+		return len(s.feats)
+	}
+	return 0
+}
+
+// rebuildTail is the tail length past which a lookup folds the tail into a
+// fresh tree (also rebuilt whenever the prefix tree's scale went stale).
+func rebuildTail(built int) int {
+	if t := built / 4; t > 64 {
+		return t
+	}
+	return 64
+}
+
+// Walk yields (pos, ord) pairs in exactly the oracle's rank order for the
+// system — ord is the session's insertion ordinal within the system (the
+// index RankSessions would report), pos the caller position from Add.
+func (ci *CorpusIndex) Walk(system string, features map[string]float64, yield func(pos, ord int) bool) {
+	s := ci.sys[system]
+	if s == nil || len(s.feats) == 0 {
+		return
+	}
+	if s.idx == nil || s.stale || len(s.feats)-s.built > rebuildTail(s.built) {
+		s.idx = NewFeatureIndexKV(s.feats[:len(s.feats):len(s.feats)])
+		s.built = len(s.feats)
+		s.stale = false
+	}
+	fq := s.idx.prepare(features)
+	if !fq.fast || len(s.feats) > s.built {
+		// With a tail (or a scan-path query) the tree alone cannot reproduce
+		// the oracle's stable order across the full corpus; when the query is
+		// fast the tail merges below, otherwise scan everything as one unit.
+		if !fq.fast {
+			ci.walkScan(s, fq, yield)
+			return
+		}
+	}
+	type tc struct {
+		d2  float64
+		ord int
+	}
+	var tail []tc
+	for j := s.built; j < len(s.feats); j++ {
+		tail = append(tail, tc{s.idx.refDist2(fq, s.feats[j]), j})
+	}
+	sort.Slice(tail, func(a, b int) bool {
+		if tail[a].d2 != tail[b].d2 {
+			return tail[a].d2 < tail[b].d2
+		}
+		return tail[a].ord < tail[b].ord
+	})
+	it := s.idx.iter(fq)
+	ti := 0
+	hi, hd2, hok := it.next()
+	for hok || ti < len(tail) {
+		// Lexicographic (d², ordinal) merge: exactly the oracle's stable
+		// rank order across prefix and tail.
+		takeTree := hok && (ti >= len(tail) ||
+			hd2 < tail[ti].d2 || (hd2 == tail[ti].d2 && hi < tail[ti].ord))
+		var ord int
+		if takeTree {
+			ord = hi
+		} else {
+			ord = tail[ti].ord
+		}
+		if !yield(s.poss[ord], ord) {
+			return
+		}
+		if takeTree {
+			hi, hd2, hok = it.next()
+		} else {
+			ti++
+		}
+	}
+}
+
+// walkScan is the full-corpus oracle path for queries the tree cannot serve.
+func (ci *CorpusIndex) walkScan(s *sysCorpus, fq *fiQuery, yield func(pos, ord int) bool) {
+	dist := make([]float64, len(s.feats))
+	for i := range s.feats {
+		dist[i] = s.idx.refDist2(fq, s.feats[i])
+	}
+	order := make([]int, len(s.feats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+	for _, ord := range order {
+		if !yield(s.poss[ord], ord) {
+			return
+		}
+	}
+}

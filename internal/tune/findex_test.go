@@ -1,0 +1,281 @@
+package tune
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The indexed lookup path must be indistinguishable from the linear-scan
+// oracle: same ranks, same nearest, same warm-start configurations, bit for
+// bit, on any corpus. These tests generate adversarial corpora — quantized
+// feature values so exact distance ties are common, sparse maps so keys go
+// missing, sessions with incompatible ParamNames, queries with keys no
+// session carries and keys that exceed every stored magnitude — and compare
+// every indexed result against the retained free functions.
+
+// featurePool is a small key/value pool: few keys and quantized values make
+// shared keys, missing keys, and exact distance ties all frequent.
+var featureKeys = []string{"rows", "ratio", "skew", "mem", "io", "cpu"}
+var featureVals = []float64{0, 0.5, 1, 2, -1, 4}
+
+func randFeatures(rng *rand.Rand) map[string]float64 {
+	m := map[string]float64{}
+	for _, k := range featureKeys {
+		if rng.Float64() < 0.5 {
+			m[k] = featureVals[rng.Intn(len(featureVals))]
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// randQuery sometimes reaches outside the corpus: unseen keys (query-only
+// constant terms) and values larger than any stored magnitude (which force
+// the scan fallback).
+func randQuery(rng *rand.Rand) map[string]float64 {
+	m := randFeatures(rng)
+	if rng.Float64() < 0.3 {
+		if m == nil {
+			m = map[string]float64{}
+		}
+		m["novel"] = featureVals[1+rng.Intn(len(featureVals)-1)]
+	}
+	if rng.Float64() < 0.2 {
+		if m == nil {
+			m = map[string]float64{}
+		}
+		m[featureKeys[rng.Intn(len(featureKeys))]] = 100
+	}
+	return m
+}
+
+func fiSpace() *Space { return NewSpace(Float("x", 0, 1, 0.5), Float("y", 0, 1, 0.5)) }
+
+// randSession emits records with compatible, incompatible, and differently-
+// sized ParamNames, plus failed / partial-fidelity / wrong-dimension trials,
+// so WarmConfigs equality exercises every skip rule.
+func randSession(rng *rand.Rand, system string) SessionRecord {
+	rec := SessionRecord{System: system, Workload: "w", Features: randFeatures(rng)}
+	switch rng.Intn(4) {
+	case 0, 1:
+		rec.ParamNames = []string{"x", "y"}
+	case 2:
+		rec.ParamNames = []string{"x", "z"} // same arity, wrong names
+	case 3:
+		rec.ParamNames = []string{"x"}
+	}
+	for t := rng.Intn(4); t > 0; t-- {
+		tr := TrialRecord{
+			Vector: []float64{rng.Float64(), rng.Float64()},
+			Time:   float64(rng.Intn(5)), // quantized: time ties are common
+		}
+		switch rng.Intn(5) {
+		case 0:
+			tr.Failed = true
+		case 1:
+			tr.Fidelity = 0.5
+		case 2:
+			tr.Vector = tr.Vector[:1]
+		}
+		rec.Trials = append(rec.Trials, tr)
+	}
+	return rec
+}
+
+// assertLookupsMatchOracle compares every indexed lookup on repo against the
+// free-function oracle for one (system, query) pair.
+func assertLookupsMatchOracle(t *testing.T, repo *Repository, system string, q map[string]float64) {
+	t.Helper()
+	sessions := repo.ForSystem(system)
+	wantRank := RankSessions(sessions, q)
+	gotRank := repo.RankSessions(system, q)
+	if !reflect.DeepEqual(gotRank, wantRank) {
+		t.Fatalf("RankSessions(%s, %v):\nindexed %v\noracle  %v", system, q, gotRank, wantRank)
+	}
+	if got, want := repo.NearestSession(system, q), NearestSession(sessions, q); got != want {
+		t.Fatalf("NearestSession(%s, %v): indexed %d oracle %d", system, q, got, want)
+	}
+	space := fiSpace()
+	for _, k := range []int{0, 1, 3} {
+		got := repo.WarmConfigs(system, q, space, k)
+		want := WarmConfigs(repo, system, q, space, k)
+		if len(got) != len(want) {
+			t.Fatalf("WarmConfigs(%s, k=%d): indexed %d cfgs, oracle %d", system, k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].String() != want[i].String() {
+				t.Fatalf("WarmConfigs(%s, k=%d)[%d]: indexed %s oracle %s", system, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndexedLookupsMatchOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		repo := &Repository{}
+		n := rng.Intn(120)
+		for i := 0; i < n; i++ {
+			sys := "dbms"
+			if rng.Float64() < 0.3 {
+				sys = "spark"
+			}
+			repo.Add(randSession(rng, sys))
+		}
+		for q := 0; q < 8; q++ {
+			assertLookupsMatchOracle(t, repo, "dbms", randQuery(rng))
+			assertLookupsMatchOracle(t, repo, "spark", randQuery(rng))
+		}
+	}
+}
+
+// TestIndexedLookupsAcrossTailStates drives the prefix-tree + linear-tail
+// lifecycle explicitly: tree-only, tail-only, mixed, post-rebuild, and a
+// tail addition that raises a frozen scale (forcing the stale-rebuild path).
+func TestIndexedLookupsAcrossTailStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	repo := &Repository{}
+	q := map[string]float64{"rows": 1, "ratio": 0.5}
+	// Tail-only: lookups before the corpus outgrows a single build.
+	for i := 0; i < 5; i++ {
+		repo.Add(randSession(rng, "dbms"))
+		assertLookupsMatchOracle(t, repo, "dbms", q)
+	}
+	// Grow well past the rebuild threshold with interleaved lookups, so the
+	// index serves from every mix of tree prefix and linear tail.
+	for i := 0; i < 200; i++ {
+		repo.Add(randSession(rng, "dbms"))
+		if i%17 == 0 {
+			assertLookupsMatchOracle(t, repo, "dbms", randQuery(rng))
+		}
+	}
+	assertLookupsMatchOracle(t, repo, "dbms", q)
+	// A tail session whose feature magnitude exceeds the frozen build scale
+	// invalidates the tree's geometry; the next lookup must rebuild.
+	big := randSession(rng, "dbms")
+	big.Features = map[string]float64{"rows": 1e6}
+	repo.Add(big)
+	assertLookupsMatchOracle(t, repo, "dbms", q)
+	assertLookupsMatchOracle(t, repo, "dbms", map[string]float64{"rows": 1e7})
+}
+
+// TestIndexedLookupsDegenerateValues pins the scan-fallback equality on
+// inputs the tree cannot bound: NaN and Inf feature values in the corpus
+// and in the query.
+func TestIndexedLookupsDegenerateValues(t *testing.T) {
+	repo := &Repository{}
+	feats := []map[string]float64{
+		{"rows": 1},
+		{"rows": math.NaN(), "ratio": 2},
+		{"ratio": math.Inf(1)},
+		{"rows": 2, "ratio": 1},
+		nil,
+	}
+	for _, f := range feats {
+		repo.Add(SessionRecord{System: "dbms", Workload: "w", ParamNames: []string{"x", "y"}, Features: f})
+	}
+	queries := []map[string]float64{
+		{"rows": 1.5},
+		{"rows": math.NaN()},
+		{"ratio": math.Inf(-1)},
+		nil,
+	}
+	for _, q := range queries {
+		assertLookupsMatchOracle(t, repo, "dbms", q)
+	}
+}
+
+// TestIndexedLookupsEmptyAndMissing covers the degenerate shapes warm start
+// meets in practice: empty repository, unknown system, sessions with no
+// features at all, and an empty query map.
+func TestIndexedLookupsEmptyAndMissing(t *testing.T) {
+	repo := &Repository{}
+	assertLookupsMatchOracle(t, repo, "dbms", map[string]float64{"rows": 1})
+	if got := repo.NearestSession("dbms", nil); got != -1 {
+		t.Fatalf("NearestSession on empty repo = %d, want -1", got)
+	}
+	repo.Add(SessionRecord{System: "dbms", Workload: "w"})
+	repo.Add(SessionRecord{System: "dbms", Workload: "w", Features: map[string]float64{"rows": 0}})
+	assertLookupsMatchOracle(t, repo, "dbms", nil)
+	assertLookupsMatchOracle(t, repo, "dbms", map[string]float64{"rows": 0})
+	assertLookupsMatchOracle(t, repo, "nosuch", map[string]float64{"rows": 1})
+
+	var nilRepo *Repository
+	if nilRepo.WarmConfigs("dbms", nil, fiSpace(), 3) != nil {
+		t.Fatal("nil repository must warm-start to nothing")
+	}
+	if nilRepo.NearestSession("dbms", nil) != -1 || nilRepo.RankSessions("dbms", nil) != nil {
+		t.Fatal("nil repository lookups must be empty")
+	}
+}
+
+// TestFeatureIndexStandalone pins the FeatureIndex primitive itself:
+// rank order against a direct oracle computation, lazy Walk cutoff, and
+// deterministic construction.
+func TestFeatureIndexStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		feats := make([]map[string]float64, rng.Intn(300))
+		sessions := make([]SessionRecord, len(feats))
+		for i := range feats {
+			feats[i] = randFeatures(rng)
+			sessions[i] = SessionRecord{Features: feats[i]}
+		}
+		ix := NewFeatureIndexKV(nil)
+		_ = ix // exercise the empty constructor path
+		ix = NewFeatureIndex(feats)
+		if ix.Len() != len(feats) {
+			t.Fatalf("Len = %d, want %d", ix.Len(), len(feats))
+		}
+		for qn := 0; qn < 6; qn++ {
+			q := randQuery(rng)
+			want := RankSessions(sessions, q)
+			got := ix.Rank(q)
+			if want == nil {
+				want = []int{}
+			}
+			if got == nil {
+				got = []int{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Rank(%v):\nindexed %v\noracle  %v", q, got, want)
+			}
+			nearest := -1
+			if len(want) > 0 {
+				nearest = want[0]
+			}
+			if gotN := ix.Nearest(q); gotN != nearest {
+				t.Fatalf("Nearest(%v) = %d, want %d", q, gotN, nearest)
+			}
+		}
+	}
+}
+
+// TestFeatureIndexWalkStopsEarly verifies Walk honors its cutoff and yields
+// ascending distances with index tie-breaks on the fast path.
+func TestFeatureIndexWalkStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	feats := make([]map[string]float64, 500)
+	for i := range feats {
+		feats[i] = randFeatures(rng)
+	}
+	ix := NewFeatureIndex(feats)
+	q := map[string]float64{"rows": 1, "mem": 2}
+	var seen int
+	lastD, lastI := math.Inf(-1), -1
+	ix.Walk(q, func(i int, d2 float64) bool {
+		if d2 < lastD || (d2 == lastD && i < lastI) {
+			t.Fatalf("walk order regressed: (%g,%d) after (%g,%d)", d2, i, lastD, lastI)
+		}
+		lastD, lastI = d2, i
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("walk yielded %d points, want 10", seen)
+	}
+}

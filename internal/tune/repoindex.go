@@ -1,0 +1,90 @@
+package tune
+
+// Indexed lookup methods on Repository: the same contracts as the free
+// functions RankSessions/NearestSession/WarmConfigs (which remain the
+// linear-scan oracle), served by the lazily-maintained CorpusIndex. The
+// methods assume the usual append-only usage through Add/AddResult; code
+// that rewrites Sessions in place should use the free functions.
+
+// WarmSource supplies warm-start seed configurations for a new session. Both
+// the in-memory *Repository (indexed) and the segmented on-disk store
+// implement it, so the daemon can warm-start from a million-session archive
+// without materializing it.
+type WarmSource interface {
+	// WarmConfigs returns the k best configurations of the nearest
+	// transferable past session of the named system, or nil when nothing
+	// transfers. Must behave exactly like the free WarmConfigs.
+	WarmConfigs(system string, features map[string]float64, space *Space, k int) []Config
+}
+
+// ensureIndex absorbs Sessions appended since the last indexed lookup. A
+// shrunken Sessions slice (truncation, reload) resets the index outright.
+func (r *Repository) ensureIndex() {
+	if r.ci == nil || r.ciLen > len(r.Sessions) {
+		r.ci = NewCorpusIndex()
+		r.ciLen = 0
+	}
+	for ; r.ciLen < len(r.Sessions); r.ciLen++ {
+		s := &r.Sessions[r.ciLen]
+		r.ci.Add(s.System, s.Features, r.ciLen)
+	}
+}
+
+// RankSessions is the indexed form of the free RankSessions over
+// ForSystem(system): indices into that per-system slice, nearest first,
+// ties toward the earlier session.
+func (r *Repository) RankSessions(system string, features map[string]float64) []int {
+	if r == nil {
+		return nil
+	}
+	r.ensureIndex()
+	n := r.ci.Len(system)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	r.ci.Walk(system, features, func(_, ord int) bool {
+		out = append(out, ord)
+		return true
+	})
+	return out
+}
+
+// NearestSession is the indexed form of the free NearestSession over
+// ForSystem(system): the per-system index of the nearest session, or -1.
+func (r *Repository) NearestSession(system string, features map[string]float64) int {
+	if r == nil {
+		return -1
+	}
+	r.ensureIndex()
+	at := -1
+	r.ci.Walk(system, features, func(_, ord int) bool {
+		at = ord
+		return false
+	})
+	return at
+}
+
+// WarmConfigs is the indexed form of the free WarmConfigs; Repository
+// implements WarmSource with it. Unlike the free function it walks sessions
+// lazily, so the common case touches O(log n) candidates.
+func (r *Repository) WarmConfigs(system string, features map[string]float64, space *Space, k int) []Config {
+	if r == nil {
+		return nil
+	}
+	r.ensureIndex()
+	names := space.Names()
+	var out []Config
+	r.ci.Walk(system, features, func(pos, _ int) bool {
+		rec := &r.Sessions[pos]
+		if len(rec.ParamNames) != len(names) {
+			return true
+		}
+		if cfgs := TransferConfigs(*rec, space, k); len(cfgs) > 0 {
+			out = cfgs
+			return false
+		}
+		return true
+	})
+	return out
+}

@@ -52,6 +52,13 @@ func (s *SessionRecord) BestTrial() int {
 // jobs from the most similar past job.
 type Repository struct {
 	Sessions []SessionRecord `json:"sessions"`
+
+	// Lazy feature-space index behind the indexed lookup methods
+	// (NearestSession/RankSessions/WarmConfigs). Synced against Sessions on
+	// first indexed use and after every append; results are bit-identical to
+	// the linear-scan functions of the same names, which remain the oracle.
+	ci    *CorpusIndex
+	ciLen int
 }
 
 // Add appends a session record.

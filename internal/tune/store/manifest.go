@@ -1,0 +1,73 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The manifest is the store's commit point: a small JSON file naming the
+// committed segments in order, the tombstoned ids, and the id/segment
+// counters. It is always installed whole via rename, so after any crash the
+// directory holds either the old manifest or the new one — segment files
+// not named by the installed manifest are uncommitted leftovers and are
+// ignored (and eventually overwritten) on reopen.
+type manifest struct {
+	Version  int      `json:"version"`
+	NextID   int64    `json:"next_id"`
+	Seq      int      `json:"seq"` // next segment file number
+	Segments []string `json:"segments"`
+	Deleted  []int64  `json:"deleted,omitempty"`
+}
+
+const manifestFile = "MANIFEST"
+
+func segName(seq int) string { return fmt.Sprintf("seg-%06d.seg", seq) }
+
+// readManifest loads the manifest, reporting absence as (zero, false, nil).
+func readManifest(path string) (manifest, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m manifest
+	// Like the v1 snapshot, the manifest is written atomically: a decode
+	// failure is corruption worth surfacing, not a crash artifact.
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("store: manifest %s is corrupt: %w", path, err)
+	}
+	return m, true, nil
+}
+
+// writeManifest durably installs m at path via temp-file + rename.
+func writeManifest(path string, m manifest) error {
+	sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsyncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeV1Dir lays down a pre-segment store directory: the legacy
+// snapshot.json (compacted state) plus a JSONL WAL tail, exactly as the v1
+// code left them.
+func writeV1Dir(t *testing.T, dir string, snap v1Snapshot, walLines []string) {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(walLines) > 0 {
+		wal := strings.Join(walLines, "\n") + "\n"
+		if err := os.WriteFile(filepath.Join(dir, walFile), []byte(wal), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func walAdd(t *testing.T, id int64, rec interface{}) string {
+	t.Helper()
+	data, err := json.Marshal(map[string]interface{}{"op": "add", "id": id, "record": rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMigrateV1RoundTrip: a v1 directory opens transparently as a v2 store
+// — snapshot sessions become the first segment with ids and records
+// preserved bit for bit, the WAL tail carries on, and the layout on disk is
+// converted (manifest installed, snapshot removed).
+func TestMigrateV1RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := v1Snapshot{
+		NextID: 4,
+		Sessions: []Stored{
+			{ID: 1, Record: rec("dbms", "tpch", 3)},
+			{ID: 2, Record: rec("spark", "pagerank", 2)},
+			{ID: 3, Record: rec("dbms", "oltp", 1)},
+		},
+	}
+	writeV1Dir(t, dir, snap, []string{
+		walAdd(t, 4, rec("hadoop", "grep", 2)),
+		`{"op":"del","id":2}`,
+	})
+
+	s := open(t, dir)
+	got := sessions(t, s)
+	if len(got) != 3 {
+		t.Fatalf("migrated store has %d sessions, want 3: %+v", len(got), got)
+	}
+	want := []Stored{
+		{ID: 1, Record: rec("dbms", "tpch", 3)},
+		{ID: 3, Record: rec("dbms", "oltp", 1)},
+		{ID: 4, Record: rec("hadoop", "grep", 2)},
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("session %d has id %d, want %d", i, got[i].ID, want[i].ID)
+		}
+		if !reflect.DeepEqual(got[i].Record, want[i].Record) {
+			t.Fatalf("session id %d did not round-trip:\ngot  %+v\nwant %+v", got[i].ID, got[i].Record, want[i].Record)
+		}
+	}
+
+	// The layout converted: manifest present with the snapshot segment,
+	// snapshot gone.
+	man, ok, err := readManifest(filepath.Join(dir, manifestFile))
+	if err != nil || !ok {
+		t.Fatalf("no manifest after migration: %v", err)
+	}
+	if len(man.Segments) != 1 {
+		t.Fatalf("manifest segments after migration: %v", man.Segments)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Errorf("v1 snapshot still present after migration: %v", err)
+	}
+
+	// Ids continue past everything the v1 directory handed out.
+	id, err := s.Append(rec("dbms", "mixed", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Errorf("first post-migration id = %d, want 5", id)
+	}
+
+	// The single-owner guard holds across the migrated layout.
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open on migrated dir = %v, want a lock error", err)
+	}
+
+	// Reopening the migrated directory is a plain v2 open.
+	s.Close()
+	s2 := open(t, dir)
+	if s2.Len() != 4 {
+		t.Fatalf("reopened migrated store has %d sessions, want 4", s2.Len())
+	}
+}
+
+// TestMigrateV1CrashRedo: a crash after the segment was written but before
+// the manifest landed leaves a v1 directory plus an orphan segment file.
+// Reopening must redo the migration cleanly, overwriting the orphan.
+func TestMigrateV1CrashRedo(t *testing.T) {
+	dir := t.TempDir()
+	snap := v1Snapshot{NextID: 3, Sessions: []Stored{
+		{ID: 1, Record: rec("dbms", "tpch", 2)},
+		{ID: 2, Record: rec("spark", "kmeans", 1)},
+	}}
+	writeV1Dir(t, dir, snap, nil)
+	// The orphan: an uncommitted (and here torn) first segment.
+	if err := os.WriteFile(filepath.Join(dir, segName(0)), append(append([]byte{}, segMagic...), "torn"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, dir)
+	got := sessions(t, s)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("redone migration recovered %+v", got)
+	}
+	if !reflect.DeepEqual(got[0].Record, rec("dbms", "tpch", 2)) {
+		t.Fatalf("record 1 corrupted by redo: %+v", got[0].Record)
+	}
+}
+
+// TestMigrateV1StaleSnapshot: a crash after the manifest landed but before
+// snapshot removal leaves both files; the manifest must win and the stale
+// snapshot must be cleaned up, not re-imported (which would resurrect
+// deleted sessions and duplicate ids).
+func TestMigrateV1StaleSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	id, err := s.Append(rec("dbms", "tpch", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Plant a stale v1 snapshot naming a session the v2 store never had.
+	stale := v1Snapshot{NextID: 99, Sessions: []Stored{{ID: 98, Record: rec("spark", "ghost", 1)}}}
+	data, _ := json.Marshal(stale)
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	got := sessions(t, s2)
+	if len(got) != 1 || got[0].ID != id {
+		t.Fatalf("stale snapshot leaked into the v2 store: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); !os.IsNotExist(err) {
+		t.Errorf("stale snapshot not removed: %v", err)
+	}
+}
+
+// TestMigrateV1EmptySnapshotDir: a v1 directory with WAL only (never
+// compacted) migrates to an empty-segment manifest with the tail intact.
+func TestMigrateV1EmptySnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	lines := make([]string, 0, 3)
+	for i := 1; i <= 3; i++ {
+		lines = append(lines, walAdd(t, int64(i), rec("dbms", "tpch", i)))
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir)
+	got := sessions(t, s)
+	if len(got) != 3 {
+		t.Fatalf("WAL-only v1 dir recovered %d sessions, want 3", len(got))
+	}
+	for i, st := range got {
+		if st.ID != int64(i+1) || !reflect.DeepEqual(st.Record, rec("dbms", "tpch", i+1)) {
+			t.Fatalf("session %d wrong after migration: %+v", i, st)
+		}
+	}
+	if _, ok, err := readManifest(filepath.Join(dir, manifestFile)); err != nil || !ok {
+		t.Fatalf("no manifest after WAL-only migration: %v", err)
+	}
+}
+
+// TestMigrateV1CorruptSnapshotSurfaces: v1 snapshots were written
+// atomically, so a decode failure is real corruption and must fail the
+// open loudly instead of silently starting an empty store over it.
+func TestMigrateV1CorruptSnapshotSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte(`{"next_id": 7, "sessions": [{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt v1 snapshot: Open = %v, want corruption error", err)
+	}
+	// The failed open must not leave the directory locked.
+	if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after clearing corruption: %v", err)
+	}
+	s.Close()
+}

@@ -38,6 +38,16 @@ func open(t *testing.T, dir string) *FileStore {
 	return s
 }
 
+// sessions materializes the live records, failing the test on read errors.
+func sessions(t *testing.T, s *FileStore) []Stored {
+	t.Helper()
+	got, err := s.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
 func TestStoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir)
@@ -58,14 +68,17 @@ func TestStoreRoundTrip(t *testing.T) {
 
 	// Reopen: everything survives, ids are stable, order preserved.
 	s2 := open(t, dir)
-	got := s2.Sessions()
+	got := sessions(t, s2)
 	if len(got) != 2 || got[0].ID != id1 || got[1].ID != id2 {
 		t.Fatalf("reloaded %+v", got)
 	}
 	if !reflect.DeepEqual(got[0].Record, rec("dbms", "tpch", 3)) {
 		t.Errorf("record 1 mutated: %+v", got[0].Record)
 	}
-	repo := s2.Repository()
+	repo, err := s2.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(repo.ForSystem("spark")) != 1 {
 		t.Errorf("repository view wrong: %+v", repo)
 	}
@@ -81,8 +94,8 @@ func TestStoreRoundTrip(t *testing.T) {
 	if id3 <= id2 {
 		t.Errorf("id %d reused after delete of %d", id3, id2)
 	}
-	if _, ok := s2.Get(id2); ok {
-		t.Error("deleted record still visible")
+	if _, ok, err := s2.Get(id2); err != nil || ok {
+		t.Errorf("deleted record still visible (ok=%v err=%v)", ok, err)
 	}
 }
 
@@ -99,7 +112,7 @@ func TestStoreDeleteSurvivesReopen(t *testing.T) {
 	}
 	s.Close()
 	s2 := open(t, dir)
-	got := s2.Sessions()
+	got := sessions(t, s2)
 	if len(got) != 1 || got[0].ID != keep {
 		t.Fatalf("after reopen: %+v", got)
 	}
@@ -114,9 +127,18 @@ func TestStoreCompaction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Auto-compaction must have folded the WAL into the snapshot.
-	if fi, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil || fi.Size() == 0 {
-		t.Fatalf("no snapshot after auto-compaction: %v", err)
+	// Auto-folding must have turned the WAL tail into committed segments.
+	man, ok, err := readManifest(filepath.Join(dir, manifestFile))
+	if err != nil || !ok {
+		t.Fatalf("no manifest after auto-fold: %v", err)
+	}
+	if len(man.Segments) == 0 {
+		t.Fatal("no segments after auto-fold")
+	}
+	for _, name := range man.Segments {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Fatalf("committed segment %s unreadable: %v", name, err)
+		}
 	}
 	wal, err := os.ReadFile(filepath.Join(dir, walFile))
 	if err != nil {
@@ -194,7 +216,7 @@ func TestStoreCrashSafety(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: open failed: %v", cut, err)
 		}
-		got := s2.Sessions()
+		got := sessions(t, s2)
 		wantComplete := 2
 		if cut == len(full) {
 			wantComplete = 3 // nothing torn: the full log survives
@@ -222,7 +244,7 @@ func TestStoreCrashSafety(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cut at %d: reopen after recovery: %v", cut, err)
 		}
-		if got := s3.Sessions(); len(got) != wantComplete+1 || got[len(got)-1].ID != id {
+		if got := sessions(t, s3); len(got) != wantComplete+1 || got[len(got)-1].ID != id {
 			t.Fatalf("cut at %d: post-recovery state wrong: %+v", cut, got)
 		}
 		s3.Close()

@@ -572,7 +572,10 @@ func TestGoldenDeterminismWarmStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repo := st.Repository()
+	repo, err := st.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
 	st.Close()
 	if len(repo.Sessions) != 1 {
 		t.Fatalf("repository has %d sessions, want the 1 archived by Start", len(repo.Sessions))

@@ -195,6 +195,20 @@ func TunerInfo(name string) (category, doc string, ok bool) {
 	return f.Category, f.Doc, ok
 }
 
+// TunerNeedsRepository reports whether the named tuner consumes the
+// materialized session corpus itself (TunerOptions.Repo) beyond what
+// warm-start seeding needs. Builtins that ignore Repo return false, which
+// lets callers skip loading every past session from a large store; external
+// registrations are conservatively assumed to want the corpus.
+func TunerNeedsRepository(name string) bool {
+	for _, t := range builtinTuners {
+		if t.name == name {
+			return name == "ottertune" || name == "recommender"
+		}
+	}
+	return true
+}
+
 // NewTuner builds a tuner by name.
 func NewTuner(name string, o TunerOptions) (Tuner, error) {
 	registry.RLock()

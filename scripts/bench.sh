@@ -10,13 +10,22 @@
 # this records scheduling overhead and the multi-core claim is the
 # critical-path estimate in DESIGN.md §12).
 #
-# Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=10x scripts/bench.sh     # more reps for quieter numbers
+# It then runs the repository-at-scale harness (bench_repo_test.go): open
+# time, indexed NearestSession p50/p99 versus corpus size with the linear
+# scan alongside, and GDSF-vs-unbounded memo hit rate, written to a second
+# JSON file (default BENCH_pr9.json).
+#
+# Usage: scripts/bench.sh [output.json] [repo-output.json]
+#   BENCHTIME=10x scripts/bench.sh       # more reps for quieter numbers
+#   REPO_SIZES=10000 scripts/bench.sh    # quick repository smoke
+#   REPO_SIZES=skip scripts/bench.sh     # surrogate benches only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_pr6.json}"
+repo_out="${2:-BENCH_pr9.json}"
 benchtime="${BENCHTIME:-5x}"
+repo_sizes="${REPO_SIZES:-10000,100000,1000000}"
 
 raw=$(go test -run '^$' -bench 'BenchmarkGPFit|BenchmarkGPAppend|BenchmarkSurrogateFit|BenchmarkBlockedCholesky' -benchtime "$benchtime" .)
 printf '%s\n' "$raw" >&2
@@ -68,3 +77,9 @@ printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v ncpu="$(nproc)" '
     printf "}\n"
   }' > "$out"
 echo "wrote $out" >&2
+
+if [ "$repo_sizes" != "skip" ]; then
+  REPRO_REPO_BENCH_OUT="$repo_out" REPRO_REPO_BENCH_SIZES="$repo_sizes" \
+    go test -run '^TestRepositoryBenchReport$' -count=1 -timeout 60m -v . >&2
+  echo "wrote $repo_out" >&2
+fi

@@ -40,6 +40,12 @@ type Spec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Memo enables the config-keyed result memo cache for this session.
 	Memo bool `json:"memo,omitempty"`
+	// MemoCap bounds the memo cache to this many retained results with
+	// cost-aware GDSF eviction; >0 implies Memo, 0 keeps the unbounded
+	// map. Bounded sessions still evaluate deterministically at any
+	// parallelism — only which repeats are served memoized can differ
+	// from the unbounded cache.
+	MemoCap int `json:"memo_cap,omitempty"`
 	// Repository names a directory holding the durable tuning repository
 	// (internal/tune/store layout). Start and StartOn load past sessions
 	// from it — feeding repository-driven tuners and WarmStart — and
@@ -157,6 +163,9 @@ func (s Spec) Validate() error {
 	if s.Parallel < 0 {
 		return fmt.Errorf("repro: parallel must be ≥ 0, got %d", s.Parallel)
 	}
+	if s.MemoCap < 0 {
+		return fmt.Errorf("repro: memo_cap must be ≥ 0 (0 = unbounded), got %d", s.MemoCap)
+	}
 	if err := s.Target.validate(); err != nil {
 		return err
 	}
@@ -192,6 +201,20 @@ func (s Spec) Job() (Job, error) { return s.JobWith(nil, nil) }
 // corpus and the durability of archive — the daemon passes its store's
 // snapshot and append; Start wires a store from Spec.Repository.
 func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error) {
+	var warm tune.WarmSource
+	if repo != nil {
+		warm = repo
+	}
+	return s.JobWithWarm(repo, warm, archive)
+}
+
+// JobWithWarm is JobWith with the warm-start seed source decoupled from the
+// materialized corpus: warm (which may be nil) answers WarmStart's
+// nearest-workload transfer query, so a caller holding an indexed store can
+// warm-start against a million-session repository without materializing it.
+// repo still feeds repository-driven tuners; TunerNeedsRepository reports
+// whether s.Tuner actually wants one.
+func (s Spec) JobWithWarm(repo *Repository, warm tune.WarmSource, archive func(SessionRecord)) (Job, error) {
 	if err := s.Validate(); err != nil {
 		return Job{}, err
 	}
@@ -227,7 +250,10 @@ func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error
 		if d, ok := target.(tune.Describer); ok {
 			features = d.WorkloadFeatures()
 		}
-		seeds := tune.WarmConfigs(repo, s.System, features, target.Space(), WarmSeeds)
+		var seeds []tune.Config
+		if warm != nil {
+			seeds = warm.WarmConfigs(s.System, features, target.Space(), WarmSeeds)
+		}
 		tuner = tune.WarmStartTuner(bt, seeds)
 	}
 	if s.Fidelity != nil {
@@ -252,6 +278,7 @@ func (s Spec) JobWith(repo *Repository, archive func(SessionRecord)) (Job, error
 		Budget:   s.Budget,
 		Parallel: s.Parallel,
 		Memo:     s.Memo,
+		MemoCap:  s.MemoCap,
 		System:   s.System,
 		Workload: s.Workload,
 		Archive:  archive,
@@ -298,11 +325,17 @@ func StartOn(ctx context.Context, e *Engine, spec Spec) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	repo := st.Repository()
-	if err := st.Close(); err != nil {
-		return nil, err
+	// Only repository-driven tuners need the corpus materialized; everyone
+	// else (including warm start, which runs on the store's feature index)
+	// gets by on the open store alone, keeping submission cheap at scale.
+	var repo *Repository
+	if TunerNeedsRepository(spec.Tuner) {
+		if repo, err = st.Repository(); err != nil {
+			st.Close()
+			return nil, err
+		}
 	}
-	job, err := spec.JobWith(repo, func(rec SessionRecord) {
+	job, err := spec.JobWithWarm(repo, st, func(rec SessionRecord) {
 		st, err := store.Open(spec.Repository)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: archiving session: %v\n", err)
@@ -313,8 +346,14 @@ func StartOn(ctx context.Context, e *Engine, spec Spec) (*Run, error) {
 			fmt.Fprintf(os.Stderr, "repro: archiving session: %v\n", err)
 		}
 	})
+	// Warm-start seeds are drawn eagerly inside JobWithWarm, so the store is
+	// no longer needed once the job exists.
+	cerr := st.Close()
 	if err != nil {
 		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
 	}
 	return e.SubmitContext(ctx, job), nil
 }

@@ -338,7 +338,11 @@ func TestSpecRepositoryLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := st.Sessions(); len(got) != 1 ||
+	got, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 ||
 		got[0].Record.System != "spark" || got[0].Record.Workload != "kmeans" ||
 		len(got[0].Record.Trials) != 8 {
 		t.Fatalf("archived state wrong: %+v", got)
@@ -364,7 +368,10 @@ func TestSpecRepositoryLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	sessions := st.Sessions()
+	sessions, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sessions) != 2 {
 		t.Fatalf("warm session not archived: %d records", len(sessions))
 	}
