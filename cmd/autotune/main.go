@@ -9,6 +9,9 @@
 //	autotune -system dbms -workload mixed -tuner ituned -repo ./repo -warm-start
 //	autotune -system dbms -workload tpch -tuner ituned -fidelity hyperband
 //	autotune -system dbms -workload tpch -tuner ituned -evaluators http://host1:8081
+//	autotune -system dbms -workload tpch -tuner ituned -pareto
+//	autotune -system dbms -workload tpch -tuner ituned -guardrail 1200
+//	autotune -system dbms -workload oltp-olap-shift -tuner ituned -drift-detect
 //	autotune -list
 //
 // -parallel N evaluates proposed trial batches on N workers; results are
@@ -20,7 +23,12 @@
 // successive-halving/Hyperband brackets: many cheap low-fidelity screens,
 // full-cost runs only for the promoted survivors. -evaluators leases trial
 // evaluations to remote autotune-evaluator processes; the result is
-// byte-identical to local evaluation, only wall-clock changes.
+// byte-identical to local evaluation, only wall-clock changes. -pareto runs
+// a latency-vs-cost scalarization sweep and reports the Pareto front,
+// -guardrail screens proposals through a safety surrogate and counts
+// objective-limit violations, and -drift-detect re-anchors the incumbent
+// and restarts the search when the workload shifts mid-session (pair it
+// with a drifting workload such as oltp-olap-shift or diurnal).
 package main
 
 import (
@@ -66,6 +74,9 @@ func main() {
 		spAbove   = flag.Int("sparse-above", 0, "trial count above which auto surrogate mode leaves the exact GP (0 = default 160)")
 		rffAbove  = flag.Int("rff-above", 0, "trial count above which auto surrogate mode switches to random Fourier features (0 = default 1500)")
 		evals     = flag.String("evaluators", "", "comma-separated base URLs of autotune-evaluator processes to lease trials to")
+		pareto    = flag.Bool("pareto", false, "multi-objective tuning: a latency-vs-cost scalarization sweep that reports the Pareto front")
+		guardrail = flag.Float64("guardrail", 0, "objective guardrail in seconds: screen proposals through a safety surrogate and count violations (0 = off)")
+		driftDet  = flag.Bool("drift-detect", false, "watch for workload drift and restart the search from the remaining budget when it fires")
 	)
 	flag.Parse()
 
@@ -74,6 +85,12 @@ func main() {
 	}
 	if *resume && *repoDir == "" {
 		fatal(fmt.Errorf("-resume requires -repo (checkpoints live in the repository directory)"))
+	}
+	if *guardrail < 0 {
+		fatal(fmt.Errorf("-guardrail must be ≥ 0 (0 = off), got %v", *guardrail))
+	}
+	if *fidelity != "" && (*pareto || *guardrail > 0 || *driftDet) {
+		fatal(fmt.Errorf("-fidelity cannot combine with -pareto/-guardrail/-drift-detect: partial-fidelity objectives are not comparable to the full-workload limits and fronts these scenarios reason over"))
 	}
 
 	if *list {
@@ -147,6 +164,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Scenario wrapper order matches repro.Spec.Job: base tuner → pareto
+	// fan-out → guardrail screen → warm-start seeding → fidelity schedule →
+	// drift detection (outermost, so a re-anchor rebuilds the whole stack).
+	if *pareto {
+		bt, ok := tn.(tune.BatchTuner)
+		if !ok {
+			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot run multi-objective", *tuner))
+		}
+		subs := []tune.BatchTuner{bt}
+		for i := 1; i < len(tune.DefaultParetoWeights); i++ {
+			sub, err := repro.NewTuner(*tuner, repro.TunerOptions{
+				Seed: *seed + int64(i), Repo: repo, TargetName: target.Name(), Surrogate: surSpec,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			sbt, ok := sub.(tune.BatchTuner)
+			if !ok {
+				fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot run multi-objective", *tuner))
+			}
+			subs = append(subs, sbt)
+		}
+		mo, err := tune.MultiObjectiveTuner(subs, tune.DefaultParetoWeights)
+		if err != nil {
+			fatal(err)
+		}
+		tn = mo
+	}
+	if *guardrail > 0 {
+		bt, ok := tn.(tune.BatchTuner)
+		if !ok {
+			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot run a guardrail screen", *tuner))
+		}
+		gt, err := tune.GuardrailTuner(bt, tune.GuardrailOptions{Limit: *guardrail})
+		if err != nil {
+			fatal(err)
+		}
+		tn = gt
+	}
 	if *warmStart {
 		bt, ok := tn.(tune.BatchTuner)
 		if !ok {
@@ -169,6 +225,13 @@ func main() {
 			fatal(err)
 		}
 		tn = mf
+	}
+	if *driftDet {
+		bt, ok := tn.(tune.BatchTuner)
+		if !ok {
+			fatal(fmt.Errorf("tuner %q has no ask/tell form and cannot run drift detection", *tuner))
+		}
+		tn = tune.DriftDetectTuner(bt, tune.DriftOptions{})
 	}
 	// With -resume the session's observation history is checkpointed into
 	// the repository at every batch boundary and picked back up on the next
@@ -208,6 +271,10 @@ func main() {
 		Checkpoint: ckptHook, Replay: replay,
 	})
 	budget := tune.Budget{Trials: *trials}
+	ctx := context.Background()
+	if sc := (tune.Scenario{Pareto: *pareto, Guardrail: *guardrail}); sc.Pareto || sc.Guardrail > 0 {
+		ctx = tune.WithScenario(ctx, sc)
+	}
 	var res *repro.TuningResult
 	if *progress {
 		// The session-handle path: submit, render the live event stream,
@@ -216,6 +283,7 @@ func main() {
 			Name: target.Name() + "/" + tn.Name(), Tuner: tn, Target: target,
 			Budget: budget, Parallel: *parallel, Remote: remote,
 			Checkpoint: ckptHook, Replay: replay,
+			Pareto: *pareto, Guardrail: *guardrail,
 		})
 		best, simUsed := math.Inf(1), 0.0
 		shown := false
@@ -240,9 +308,9 @@ func main() {
 		if shown {
 			fmt.Println()
 		}
-		res, err = run.Wait(context.Background())
+		res, err = run.Wait(ctx)
 	} else {
-		res, err = eng.Tune(context.Background(), target, tn, budget)
+		res, err = eng.Tune(ctx, target, tn, budget)
 	}
 	if err != nil {
 		fatal(err)
@@ -259,6 +327,19 @@ func main() {
 		fmt.Printf("archived session as repository id %d\n", id)
 	}
 
+	if *pareto {
+		fmt.Printf("pareto front: %d trade-off points (latency, provisioned cost)\n", len(res.Front))
+		for _, tr := range res.Front {
+			fmt.Printf("  %8.1fs  $%.2f\n", tr.Result.Objective(), tr.Result.Cost)
+		}
+	}
+	if *guardrail > 0 {
+		fmt.Printf("guardrail %.1fs: %d violations across %d trials\n",
+			*guardrail, res.GuardrailViolations, len(res.Trials))
+	}
+	if *driftDet {
+		fmt.Printf("drift detections: %d (search re-anchored after each)\n", res.DriftDetections)
+	}
 	if *fidelity != "" {
 		full, partial := 0, 0
 		for _, t := range res.Trials {

@@ -33,8 +33,8 @@ func TestTableRenderAndCSV(t *testing.T) {
 
 func TestRegistryListsAllExperiments(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(exps))
+	if len(exps) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(exps))
 	}
 	names := map[string]bool{}
 	for _, e := range exps {
@@ -43,7 +43,7 @@ func TestRegistryListsAllExperiments(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.Name)
 		}
 	}
-	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer", "fidelity", "surrogate"} {
+	for _, want := range []string{"motivation", "table1", "table2", "hadoopgap", "sparkparams", "heterogeneity", "cloud", "realtime", "transfer", "fidelity", "surrogate", "drift", "pareto", "guardrail"} {
 		if !names[want] {
 			t.Errorf("missing experiment %q", want)
 		}
@@ -231,6 +231,100 @@ func TestSurrogateFast(t *testing.T) {
 				t.Errorf("row %d disagrees with the exact GP (rmse %.3f): %v", i, rmse, row)
 			}
 		}
+	}
+}
+
+// TestDriftDetectionReducesRegret pins the drift-scenario acceptance claim
+// at the benchtab defaults (seed 42, budget 30): after the oltp→olap shift,
+// the drift-detecting variant's deployed regret-over-time beats the
+// no-detection baseline, and it actually detected something (the baseline,
+// by construction, detects nothing).
+func TestDriftDetectionReducesRegret(t *testing.T) {
+	tb := Drift(Options{Seed: 42, Budget: 30})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	base, det := tb.Rows[0], tb.Rows[1]
+	if base[2] != "0" {
+		t.Errorf("baseline reported detections: %v", base)
+	}
+	var detections int
+	fmt.Sscanf(det[2], "%d", &detections)
+	if detections == 0 {
+		t.Errorf("detector never fired: %v", det)
+	}
+	var reduction float64
+	if _, err := fmt.Sscanf(det[5], "%f%%", &reduction); err != nil {
+		t.Fatalf("regret reduction column malformed: %v", det)
+	}
+	if reduction <= 0 {
+		t.Errorf("drift detection did not reduce deployed regret (reduction %.0f%%): base %v det %v",
+			reduction, base, det)
+	}
+}
+
+// TestParetoFrontDominates pins the multi-objective acceptance claim at the
+// benchtab defaults (seed 42; the experiment raises the budget floor to 60):
+// the weighted sweep's front dominates the single-objective session's — more
+// normalized hypervolume AND an equal-or-better best latency, so the gain is
+// not bought by giving up the corner a latency-only search optimizes.
+func TestParetoFrontDominates(t *testing.T) {
+	tb := Pareto(Options{Seed: 42, Budget: 30})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	single, multi := tb.Rows[0], tb.Rows[1]
+	hv := func(row []string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(row[6], "%f", &v); err != nil {
+			t.Fatalf("hypervolume column malformed: %v", row)
+		}
+		return v
+	}
+	if hv(multi) <= hv(single) {
+		t.Errorf("multi-objective front does not dominate: hv %.4f vs single %.4f", hv(multi), hv(single))
+	}
+	best := func(row []string) float64 {
+		var v float64
+		if _, err := fmt.Sscanf(row[3], "%f", &v); err != nil {
+			t.Fatalf("best latency column malformed: %v", row)
+		}
+		return v
+	}
+	// Both render in seconds at this scale; parse defensively anyway.
+	if strings.HasSuffix(single[3], "s") && strings.HasSuffix(multi[3], "s") {
+		if best(multi) > best(single) {
+			t.Errorf("sweep gave up the latency corner: best %s vs single %s", multi[3], single[3])
+		}
+	}
+}
+
+// TestGuardrailZeroViolations pins the safety acceptance claim at the
+// benchtab defaults (seed 42, budget 30): the screened session completes
+// with ZERO guardrail violations while the unguarded one pays several, and
+// the screen does not cost the incumbent — the guarded best is
+// equal-or-better than the unguarded best.
+func TestGuardrailZeroViolations(t *testing.T) {
+	tb := Guardrail(Options{Seed: 42, Budget: 30})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	unguarded, guarded := tb.Rows[0], tb.Rows[1]
+	var uv, gv int
+	fmt.Sscanf(unguarded[2], "%d", &uv)
+	fmt.Sscanf(guarded[2], "%d", &gv)
+	if uv == 0 {
+		t.Errorf("unguarded session saw no violations — the hazard vanished: %v", unguarded)
+	}
+	if gv != 0 {
+		t.Errorf("guarded session violated the guardrail %d times: %v", gv, guarded)
+	}
+	var vs float64
+	if _, err := fmt.Sscanf(guarded[5], "%f%%", &vs); err != nil {
+		t.Fatalf("vs-unguarded column malformed: %v", guarded)
+	}
+	if vs > 0 {
+		t.Errorf("guarded best is %.1f%% worse than unguarded, want equal-or-better", vs)
 	}
 }
 

@@ -69,6 +69,21 @@ var registry = map[string]Experiment{
 		Doc: "exact vs sparse-inducing vs random-Fourier-feature surrogates: fit/score cost and posterior agreement",
 		Run: Surrogate,
 	},
+	"drift": {
+		Name: "drift", Paper: "§2.5 workload drift (dynamic workloads challenge)",
+		Doc: "mid-session oltp→olap shift: static tuning vs windowed drift detection with session re-anchoring",
+		Run: Drift,
+	},
+	"pareto": {
+		Name: "pareto", Paper: "§2.5 multi-objective tuning (cost-aware provisioning)",
+		Doc: "latency-vs-cost Pareto fronts: single-objective search vs scalarization-weight sweep",
+		Run: Pareto,
+	},
+	"guardrail": {
+		Name: "guardrail", Paper: "§2.5 safe exploration (production tuning constraint)",
+		Doc: "objective guardrail: unscreened exploration vs GP-screened proposals, violations vs incumbent quality",
+		Run: Guardrail,
+	},
 }
 
 // Experiments lists registered experiment names, sorted.

@@ -289,6 +289,14 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		EventRingBytes   int    `json:"event_ring_bytes"`
 		EventSubscribers int    `json:"event_subscribers"`
 	}
+	// scenarioSummary aggregates scenario-class progress across every
+	// session the daemon holds. GuardrailViolations is the first-class
+	// safety metric: a safety-tuned fleet alarms on it going nonzero.
+	type scenarioSummary struct {
+		ParetoPoints        int `json:"pareto_points"`
+		GuardrailViolations int `json:"guardrail_violations"`
+		DriftDetections     int `json:"drift_detections"`
+	}
 	s.mu.Lock()
 	sessions := make([]*session, 0, len(s.order))
 	for _, id := range s.order {
@@ -304,6 +312,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	var sums sessionSummary
 	var mem memorySummary
+	var scen scenarioSummary
 	sums.Total = len(sessions)
 	for _, sess := range sessions {
 		switch sess.Run.State() {
@@ -320,6 +329,10 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		}
 		mem.EventRingBytes += sess.Run.MemoryBytes()
 		mem.EventSubscribers += sess.Run.Subscribers()
+		pp, gv, dd := sess.Run.ScenarioProgress()
+		scen.ParetoPoints += pp
+		scen.GuardrailViolations += gv
+		scen.DriftDetections += dd
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -343,6 +356,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		"sessions":   sums,
 		"admission":  adm,
 		"memory":     mem,
+		"scenarios":  scen,
 		"repository": repo,
 		"evaluators": fleet,
 	})
@@ -579,11 +593,16 @@ type status struct {
 	// TrialsPruned and RungsDecided report multi-fidelity progress: how
 	// many trials rung decisions early-stopped, over how many decisions
 	// (zero for single-fidelity sessions).
-	TrialsPruned int                 `json:"trials_pruned,omitempty"`
-	RungsDecided int                 `json:"rungs_decided,omitempty"`
-	Incumbent    *incumbent          `json:"incumbent,omitempty"`
-	Result       *repro.TuningResult `json:"result,omitempty"`
-	Error        string              `json:"error,omitempty"`
+	TrialsPruned int `json:"trials_pruned,omitempty"`
+	RungsDecided int `json:"rungs_decided,omitempty"`
+	// Scenario progress: Pareto points admitted to the front, guardrail
+	// violations observed, and drift re-anchors (zero for plain sessions).
+	ParetoPoints        int                 `json:"pareto_points,omitempty"`
+	GuardrailViolations int                 `json:"guardrail_violations,omitempty"`
+	DriftDetections     int                 `json:"drift_detections,omitempty"`
+	Incumbent           *incumbent          `json:"incumbent,omitempty"`
+	Result              *repro.TuningResult `json:"result,omitempty"`
+	Error               string              `json:"error,omitempty"`
 	// ArchivedAs is the repository id the finished session was archived
 	// under (zero until archived or when the daemon has no repository).
 	ArchivedAs int64 `json:"archived_as,omitempty"`
@@ -609,6 +628,7 @@ func (sess *session) status() status {
 	trials, inc, ok := sess.Run.Progress()
 	st.TrialsDone = trials
 	st.TrialsPruned, st.RungsDecided = sess.Run.FidelityProgress()
+	st.ParetoPoints, st.GuardrailViolations, st.DriftDetections = sess.Run.ScenarioProgress()
 	if ok {
 		st.Incumbent = &incumbent{Trial: inc.Trial, Config: inc.Config.Map(), Result: inc.Result}
 	}

@@ -7,8 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/sysmodel/cluster"
+	"repro/internal/sysmodel/dbms"
 	"repro/internal/tune"
 	"repro/internal/tuners/experiment"
+	"repro/internal/workload"
 )
 
 // checkpointEvents drains a run and returns its marshaled event lines,
@@ -137,6 +140,94 @@ func TestCheckpointResumeMatchesUninterruptedFidelity(t *testing.T) {
 		if !bytes.Equal(refEvents[i], resEvents[i]) {
 			t.Fatalf("event %d differs:\n  uninterrupted: %s\n  resumed:       %s",
 				i, refEvents[i], resEvents[i])
+		}
+	}
+}
+
+// TestCheckpointResumeThroughDriftReanchor: the crash-resume guarantee on a
+// drift-detecting session, resuming from a checkpoint taken AFTER the
+// detector fired — so the replay has to rebuild the detector's window, the
+// re-anchored incumbent, and the restarted proposer stack purely from the
+// recorded observations. A byte-identical event stream (including the
+// DriftDetected position) proves re-anchoring is a pure function of the
+// observation sequence, not of wall-clock session history.
+func TestCheckpointResumeThroughDriftReanchor(t *testing.T) {
+	b := tune.Budget{Trials: 20}
+	mkJob := func() Job {
+		node := cluster.CommodityNode()
+		d, err := workload.NewDrift("oltp-olap-shift", false,
+			workload.Phase{Name: "oltp", Target: dbms.New(node, workload.OLTP(64, 2), 21), Runs: 7},
+			workload.Phase{Name: "olap", Target: dbms.New(node, workload.TPCHLike(4), 21), Runs: 7},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Job{
+			Name:   "drift-resume",
+			Tuner:  tune.DriftDetectTuner(experiment.NewITuned(21), tune.DriftOptions{}),
+			Target: d, Budget: b,
+		}
+	}
+
+	var cps []tune.CheckpointState
+	ref := mkJob()
+	ref.Checkpoint = func(cs tune.CheckpointState) { cps = append(cps, cs) }
+	ref.CheckpointEvery = 1
+	refRun := New(Options{Workers: 1}).Submit(ref)
+	refEvents := collectEvents(t, refRun)
+	refRes, err := refRun.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The interesting checkpoint is one taken after the re-anchor: find the
+	// first DriftDetected and the first checkpoint that already contains it.
+	anchor := 0
+	for _, ev := range refEvents {
+		if ev.Kind == tune.DriftDetected {
+			anchor = ev.Trial
+			break
+		}
+	}
+	if anchor == 0 {
+		t.Fatal("no drift detection fired; the resume-through-reanchor case needs one")
+	}
+	var mid *tune.CheckpointState
+	for i := range cps {
+		if n := len(cps[i].Trials); n > anchor && n < b.Trials {
+			mid = &cps[i]
+			break
+		}
+	}
+	if mid == nil {
+		t.Fatalf("no partial checkpoint after the re-anchor at trial %d", anchor)
+	}
+
+	replay := mid.Replay()
+	resumed := mkJob()
+	resumed.Replay = &replay
+	resRun := New(Options{Workers: 1}).Submit(resumed)
+	resEvents := collectEvents(t, resRun)
+	resRes, err := resRun.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sameResult(t, refRes, resRes, "uninterrupted vs resumed through re-anchor")
+	if len(resEvents) != len(refEvents) {
+		t.Fatalf("resumed stream has %d events, uninterrupted %d", len(resEvents), len(refEvents))
+	}
+	for i := range refEvents {
+		rj, err := json.Marshal(refEvents[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := json.Marshal(resEvents[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rj, sj) {
+			t.Fatalf("event %d differs:\n  uninterrupted: %s\n  resumed:       %s", i, rj, sj)
 		}
 	}
 }

@@ -132,6 +132,12 @@ func (e *Engine) Drive(ctx context.Context, name string, target tune.Target, b t
 		ctx = context.Background()
 	}
 	s := tune.NewSession(ctx, target, b)
+	// Scenario-aware proposers (drift detectors, guardrails) get the session
+	// handle before anything — replay included — runs, so re-anchors land on
+	// the live session.
+	if sa, ok := p.(tune.SessionAware); ok {
+		sa.BindSession(s)
+	}
 	ev := e.newEvaluator(target)
 	// When a run-handle monitor rides on the context, honor its pause gate
 	// between batches (the session honors it for sequential tuners).

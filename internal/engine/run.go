@@ -80,8 +80,13 @@ type Run struct {
 	trialsPruned int
 	rungsDecided int
 	lastKind     tune.EventKind
-	result       *tune.TuningResult
-	err          error
+	// Scenario progress: Pareto points admitted, guardrail violations, and
+	// drift re-anchors, tracked as events are appended.
+	paretoPoints        int
+	guardrailViolations int
+	driftDetections     int
+	result              *tune.TuningResult
+	err                 error
 }
 
 // Submit schedules job on the engine and returns its handle immediately.
@@ -158,6 +163,9 @@ func (r *Run) run(e *Engine, record bool) {
 	ctx := r.ctx
 	if record {
 		ctx = tune.WithMonitor(ctx, &tune.Monitor{OnEvent: r.observe, Gate: r.gate})
+	}
+	if sc := (tune.Scenario{Pareto: r.job.Pareto, Guardrail: r.job.Guardrail}); sc.Pareto || sc.Guardrail > 0 {
+		ctx = tune.WithScenario(ctx, sc)
 	}
 	res, err := sub.Tune(ctx, r.job.Target, r.job.Tuner, r.job.Budget)
 	r.archive(res, err)
@@ -237,6 +245,12 @@ func (r *Run) appendLocked(ev tune.Event) {
 		if r.lastKind != tune.TrialPruned {
 			r.rungsDecided++
 		}
+	case tune.ParetoIncumbent:
+		r.paretoPoints++
+	case tune.GuardrailViolation:
+		r.guardrailViolations++
+	case tune.DriftDetected:
+		r.driftDetections++
 	}
 	r.lastKind = ev.Kind
 	if r.bufCap < 0 || len(r.buf) < r.bufCap {
@@ -273,6 +287,12 @@ func (r *Run) foldLocked(ev tune.Event) {
 		if r.evictKind != tune.TrialPruned {
 			r.summary.RungsDecided++
 		}
+	case tune.ParetoIncumbent:
+		r.summary.ParetoPoints++
+	case tune.GuardrailViolation:
+		r.summary.GuardrailViolations++
+	case tune.DriftDetected:
+		r.summary.DriftDetections++
 	}
 	r.evictKind = ev.Kind
 }
@@ -323,6 +343,16 @@ func (r *Run) FidelityProgress() (trialsPruned, rungsDecided int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.trialsPruned, r.rungsDecided
+}
+
+// ScenarioProgress reports scenario-class progress: Pareto points admitted
+// to the front, guardrail violations observed, and drift re-anchors. All are
+// zero for plain single-objective sessions. O(1), tracked as events are
+// appended.
+func (r *Run) ScenarioProgress() (paretoPoints, guardrailViolations, driftDetections int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.paretoPoints, r.guardrailViolations, r.driftDetections
 }
 
 // MemoryBytes estimates the bytes the run's event ring currently retains.

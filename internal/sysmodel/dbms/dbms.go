@@ -632,7 +632,18 @@ func (d *DBMS) simulate(cfg tune.Config, rng *rand.Rand, opsFraction float64) tu
 	m["ops"] = ops
 	m["throughput_ops"] = ops / elapsed
 
-	return tune.Result{Time: elapsed, Failed: failed, FailReason: failReason, Metrics: m}
+	// Dollar cost prices the provisioned footprint the configuration claims
+	// — memory actually allocated and connection slots actually offered — so
+	// latency and cost pull in different directions (a huge buffer pool buys
+	// speed but rents RAM) and multi-objective sessions have a real
+	// trade-off to map. The charge is per billing quantum, NOT per elapsed
+	// second: provisioned capacity bills whether the query ran fast or slow
+	// (cloud instances round up to the hour). Multiplying by elapsed would
+	// make cost a near-affine function of latency and collapse the Pareto
+	// front to its fastest point.
+	dollars := 0.05 + 0.03*totalMem/1024 + 0.0004*float64(maxConn)
+	m["dollar_cost"] = dollars
+	return tune.Result{Time: elapsed, Cost: dollars, Failed: failed, FailReason: failReason, Metrics: m}
 }
 
 // Interface conformance checks.

@@ -1,6 +1,8 @@
 package dbms
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -256,5 +258,56 @@ func TestFidelityContract(t *testing.T) {
 	// Out-of-range fidelities clamp instead of exploding.
 	if r := d.RunIndexedFidelity(nil, 3, -1, cfg); r.Time <= 0 {
 		t.Fatalf("clamped fidelity produced %v", r.Time)
+	}
+}
+
+// TestMultiMetricBitwiseRepeatable pins every metric-producing path against
+// map-iteration-order nondeterminism: the same (seed, run index, config)
+// must reproduce the full Result — time, dollar cost, and every metric —
+// bit for bit, in fresh instances and across repetitions. Aggregations
+// summing a metric map in range order would pass an approximate check and
+// still break byte-identical event streams in the last ulp (the
+// buffer_hit_ratio bug); JSON round-trips expose exactly those ulps, and
+// the tenant variant covers the cloud interference path feeding Pareto
+// cost scoring.
+func TestMultiMetricBitwiseRepeatable(t *testing.T) {
+	mk := map[string]func() *DBMS{
+		"tpch": func() *DBMS { return newTPCH(5) },
+		"oltp": func() *DBMS { return newOLTP(5) },
+		"oltp+tenant": func() *DBMS {
+			d := newOLTP(5)
+			d.Tenant = cluster.Commodity(8)
+			return d
+		},
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			probe := build()
+			cfgs := []tune.Config{
+				probe.Space().Default(),
+				probe.Space().Default().With(BufferPoolMB, 256.0),
+				probe.Space().Default().With(WorkMemMB, 4.0),
+			}
+			for ci, cfg := range cfgs {
+				var want []byte
+				for rep := 0; rep < 6; rep++ {
+					res := build().RunIndexed(3, cfg)
+					if len(res.Metrics) < 2 {
+						t.Fatalf("config %d: %d metrics — the golden would be vacuous", ci, len(res.Metrics))
+					}
+					got, err := json.Marshal(res)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep == 0 {
+						want = got
+						continue
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("config %d rep %d diverged:\n  first: %s\n  now:   %s", ci, rep, want, got)
+					}
+				}
+			}
+		})
 	}
 }

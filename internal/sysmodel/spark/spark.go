@@ -679,7 +679,13 @@ func (s *Spark) simulate(cfg tune.Config, rng *rand.Rand, single bool, epoch int
 	m["serializer_kryo"] = boolMetric(serializer == "kryo")
 	m["gc_pressure"] = math.Min(1, totalSpill/(job.InputMB+1)+0.1)
 
-	return tune.Result{Time: elapsed, Cost: cl.DollarCost(elapsed), Metrics: m}
+	// Dollar cost bills the nodes the placement actually occupies, not the
+	// whole cluster: fewer/smaller executors pack onto fewer nodes, so a
+	// cost-aware tuner can trade latency against footprint instead of seeing
+	// cost as a fixed multiple of elapsed time.
+	nodesUsed := math.Ceil(float64(placed) / float64(perNode))
+	m["nodes_used"] = nodesUsed
+	return tune.Result{Time: elapsed, Cost: cl.PricePerNodeHour * nodesUsed * elapsed / 3600, Metrics: m}
 }
 
 // effData returns the per-iteration data volume processed.

@@ -1,6 +1,8 @@
 package spark
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -208,5 +210,40 @@ func TestFidelityContract(t *testing.T) {
 			t.Fatalf("cost not monotone in fidelity: cost(%v) = %v after %v", f, c, prev)
 		}
 		prev = c
+	}
+}
+
+// TestMultiMetricBitwiseRepeatable pins the spark metric paths (batch and
+// streaming, which aggregates per-epoch metric maps) against map-iteration-
+// order nondeterminism: the same (seed, run index, config) reproduces the
+// full Result bit for bit across fresh instances — the property that keeps
+// Pareto cost scoring and byte-identical event streams honest.
+func TestMultiMetricBitwiseRepeatable(t *testing.T) {
+	mk := map[string]func() *Spark{
+		"pagerank":  func() *Spark { return New(cluster.Commodity(8), workload.PageRank(2, 6), 5) },
+		"streaming": func() *Spark { return New(cluster.Commodity(8), workload.StreamingAgg(512, 8, 10), 5) },
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			cfg := build().Space().Default()
+			var want []byte
+			for rep := 0; rep < 6; rep++ {
+				res := build().RunIndexed(3, cfg)
+				if len(res.Metrics) < 2 {
+					t.Fatalf("%d metrics — the golden would be vacuous", len(res.Metrics))
+				}
+				got, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep == 0 {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("rep %d diverged:\n  first: %s\n  now:   %s", rep, want, got)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,204 @@
+package tune
+
+import (
+	"context"
+	"math"
+)
+
+// This file is the change-detector half of the workload-drift scenario: a
+// proposer wrapper that watches the observed objective stream for evidence
+// that the target's workload shifted under the tuner, and reacts by
+// re-anchoring the session (discarding the stale incumbent) and restarting
+// its inner proposer fresh so the search re-explores instead of exploiting a
+// landscape that no longer exists. The time-varying targets themselves live
+// in internal/workload (workload.Drift).
+//
+// The detector is a windowed incumbent-regression test. Under a stationary
+// workload a converging tuner keeps proposing configurations near its
+// incumbent, so recent objectives hover near the best-since-anchor. After a
+// shift, the same configurations measure a different workload: every recent
+// result lands far above the anchor-era best. Drift is declared when the
+// BEST of the last Window full-fidelity objectives exceeds Factor× the
+// best-since-anchor — a whole window without one near-incumbent result is
+// regression of the incumbent itself, not noise (noise would have to break
+// the same way Window times in a row).
+//
+// Determinism: detection state advances only in Observe, which every driver
+// calls in proposal order, so the detection trial — and the DriftDetected
+// event's position — is a pure function of the observation sequence,
+// identical at any worker count and reproduced exactly by checkpoint-resume
+// replay (which re-observes the same history).
+
+// DriftOptions tunes the windowed incumbent-regression detector.
+type DriftOptions struct {
+	// Window is how many consecutive recent full-fidelity objectives must
+	// all regress before drift is declared (default 4).
+	Window int
+	// Warmup is how many observations must accumulate since the last anchor
+	// before the test arms (default 2×Window): the anchor-era best needs
+	// evidence before regression against it means anything.
+	Warmup int
+	// Factor is the regression threshold: drift is declared when
+	// min(last Window objectives) > Factor × best-since-anchor (default 3).
+	// The default is deliberately coarse: a Bayesian tuner's own exploration
+	// routinely proposes configurations 1.5–2× off its incumbent, and a
+	// detector tuned into that band re-triggers on its own restart's design
+	// phase (a detection cascade). Real workload shifts move the whole
+	// objective surface — typically well past 3× — so a coarse threshold
+	// loses little detection latency and buys cascade immunity.
+	Factor float64
+}
+
+// WithDefaults returns o with zero fields replaced by the defaults.
+func (o DriftOptions) WithDefaults() DriftOptions {
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2 * o.Window
+	}
+	if !(o.Factor > 1) {
+		o.Factor = 3
+	}
+	return o
+}
+
+// DriftDetector wraps a proposer with workload-drift detection. On
+// detection it re-anchors the bound session and replaces the inner proposer
+// with a freshly constructed one (via the factory captured at build time),
+// so the search restarts its design phase against the post-shift workload.
+type DriftDetector struct {
+	inner  Proposer
+	fresh  func(remaining Budget) (Proposer, error)
+	budget Budget
+	opts   DriftOptions
+	sess   *Session
+
+	recent     []float64 // ring of the last Window full-fidelity objectives
+	seen       int       // observations since the last anchor
+	lifetime   int       // observations over the whole session (never reset)
+	bestAnchor float64   // best full-fidelity objective since the last anchor
+	detections int
+}
+
+// NewDriftDetector wraps inner, which was built for budget b; fresh (which
+// may be nil) rebuilds the inner proposer after a detection — without it the
+// detector re-anchors the session but keeps the converged proposer, which is
+// strictly weaker. fresh receives the budget REMAINING at the detection, not
+// the original one, so a budget-aware tuner sizes its design phase to the
+// runway actually left instead of re-spending a full session's exploration.
+func NewDriftDetector(inner Proposer, fresh func(remaining Budget) (Proposer, error), b Budget, opts DriftOptions) *DriftDetector {
+	return &DriftDetector{inner: inner, fresh: fresh, budget: b, opts: opts.WithDefaults(), bestAnchor: math.Inf(1)}
+}
+
+// BindSession implements SessionAware.
+func (d *DriftDetector) BindSession(s *Session) {
+	d.sess = s
+	if sa, ok := d.inner.(SessionAware); ok {
+		sa.BindSession(s)
+	}
+}
+
+// Propose implements Proposer.
+func (d *DriftDetector) Propose(n int) []Config { return d.inner.Propose(n) }
+
+// Observe implements Proposer: it forwards the trial, then runs the
+// regression test. The re-anchor happens between observations on the driver
+// goroutine, so replay reproduces it at the same trial.
+func (d *DriftDetector) Observe(t Trial) {
+	d.inner.Observe(t)
+	if !t.Result.FullFidelity() {
+		return
+	}
+	obj := t.Result.Objective()
+	d.seen++
+	d.lifetime++
+	if obj < d.bestAnchor {
+		d.bestAnchor = obj
+	}
+	d.recent = append(d.recent, obj)
+	if len(d.recent) > d.opts.Window {
+		d.recent = d.recent[1:]
+	}
+	if d.seen < d.opts.Warmup || len(d.recent) < d.opts.Window {
+		return
+	}
+	windowBest := math.Inf(1)
+	for _, v := range d.recent {
+		if v < windowBest {
+			windowBest = v
+		}
+	}
+	if windowBest <= d.opts.Factor*d.bestAnchor {
+		return
+	}
+	// Regression across the whole window: re-anchor and restart the search.
+	d.detections++
+	d.seen, d.recent, d.bestAnchor = 0, d.recent[:0], math.Inf(1)
+	if d.sess != nil {
+		d.sess.ReAnchor()
+	}
+	if d.fresh != nil {
+		remaining := d.budget
+		if remaining.Trials > 0 {
+			remaining.Trials -= d.lifetime
+			if remaining.Trials < 1 {
+				remaining.Trials = 1
+			}
+		}
+		if p, err := d.fresh(remaining); err == nil {
+			d.inner = p
+			if sa, ok := p.(SessionAware); ok && d.sess != nil {
+				sa.BindSession(d.sess)
+			}
+		}
+	}
+}
+
+// Detections reports how many times drift was declared.
+func (d *DriftDetector) Detections() int { return d.detections }
+
+// Recommend implements Recommender when the inner proposer does.
+func (d *DriftDetector) Recommend() Config {
+	if r, ok := d.inner.(Recommender); ok {
+		return r.Recommend()
+	}
+	return Config{}
+}
+
+// driftTuner is a BatchTuner whose sessions run under drift detection.
+type driftTuner struct {
+	BatchTuner
+	opts DriftOptions
+}
+
+// DriftDetectTuner wraps t so every session it starts watches for workload
+// drift and re-anchors on detection. Compose it OUTSIDE warm starting and
+// any other proposer wrapper: a detection rebuilds the detector's entire
+// inner stack fresh, which is the "re-warm-start" the drift scenario wants.
+func DriftDetectTuner(t BatchTuner, opts DriftOptions) BatchTuner {
+	return &driftTuner{BatchTuner: t, opts: opts}
+}
+
+// Name implements Tuner.
+func (t *driftTuner) Name() string { return t.BatchTuner.Name() + "+drift" }
+
+// NewProposer implements BatchTuner.
+func (t *driftTuner) NewProposer(target Target, b Budget) (Proposer, error) {
+	inner, err := t.BatchTuner.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	fresh := func(remaining Budget) (Proposer, error) { return t.BatchTuner.NewProposer(target, remaining) }
+	return NewDriftDetector(inner, fresh, b, t.opts), nil
+}
+
+// Tune implements Tuner through the detecting proposer so the blocking path
+// and the engine path stay identical.
+func (t *driftTuner) Tune(ctx context.Context, target Target, b Budget) (*TuningResult, error) {
+	p, err := t.NewProposer(target, b)
+	if err != nil {
+		return nil, err
+	}
+	return DriveProposer(ctx, t.Name(), target, b, p)
+}

@@ -27,6 +27,21 @@ const (
 	TrialPruned EventKind = "trial_pruned"
 	// SessionDone closes the stream with the final result or the error.
 	SessionDone EventKind = "session_done"
+	// ParetoIncumbent reports that a TrialDone joined the session's
+	// latency-vs-cost Pareto front (tracked only when the session opts in;
+	// see Scenario.Pareto). Every front insertion is announced, so replaying
+	// the stream reconstructs the front exactly: keep each announced trial,
+	// drop the ones later insertions dominate.
+	ParetoIncumbent EventKind = "pareto_incumbent"
+	// GuardrailViolation follows a TrialDone whose full-fidelity objective
+	// exceeded the session's guardrail limit (see Scenario.Guardrail). The
+	// event carries the limit so consumers need no side channel to judge by.
+	GuardrailViolation EventKind = "guardrail_violation"
+	// DriftDetected marks a workload-drift re-anchor: the session discarded
+	// its incumbent because the detector concluded recent results measure a
+	// different workload than the one the incumbent was recorded on. Trial
+	// is the number of trials recorded when the re-anchor happened.
+	DriftDetected EventKind = "drift_detected"
 )
 
 // Synthetic stream events emitted by bounded-memory subscriptions and the
@@ -74,6 +89,12 @@ type StreamSummary struct {
 	BestTrial  int               `json:"best_trial,omitempty"`
 	BestConfig map[string]string `json:"best_config,omitempty"`
 	BestResult *Result           `json:"best_result,omitempty"`
+	// ParetoPoints, GuardrailViolations, and DriftDetections summarize the
+	// scenario events in the covered prefix (all omitted for sessions that
+	// never emit them, so pre-scenario streams marshal unchanged).
+	ParetoPoints        int `json:"pareto_points,omitempty"`
+	GuardrailViolations int `json:"guardrail_violations,omitempty"`
+	DriftDetections     int `json:"drift_detections,omitempty"`
 	// Dropped is set on StreamLagged only: how many events this subscriber
 	// missed between its position and the summary's coverage.
 	Dropped int `json:"dropped,omitempty"`
@@ -97,6 +118,8 @@ type Event struct {
 	// SimTimeUsed is the session's cumulative simulated seconds after this
 	// trial (TrialDone only).
 	SimTimeUsed float64
+	// Limit is the guardrail the result breached (GuardrailViolation only).
+	Limit float64
 	// Final is the session outcome (SessionDone on success).
 	Final *TuningResult
 	// Err is the session failure (SessionDone on error).
@@ -116,6 +139,7 @@ type eventJSON struct {
 	Config      map[string]string `json:"config,omitempty"`
 	Result      *Result           `json:"result,omitempty"`
 	SimTimeUsed float64           `json:"sim_time_used,omitempty"`
+	Limit       float64           `json:"limit,omitempty"`
 	Final       *TuningResult     `json:"final,omitempty"`
 	Err         string            `json:"error,omitempty"`
 	Summary     *StreamSummary    `json:"summary,omitempty"`
@@ -129,10 +153,14 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		j.Config = e.Config.Map()
 	}
 	switch e.Kind {
-	case TrialDone, IncumbentImproved:
+	case TrialDone, IncumbentImproved, ParetoIncumbent:
 		r := e.Result
 		j.Result = &r
 		j.SimTimeUsed = e.SimTimeUsed
+	case GuardrailViolation:
+		r := e.Result
+		j.Result = &r
+		j.Limit = e.Limit
 	case SessionDone:
 		j.Final = e.Final
 		if e.Err != nil {

@@ -495,6 +495,33 @@ func rebuildTail(built int) int {
 	return 64
 }
 
+// Ready reports whether a Walk for system would serve without mutating the
+// index — the tree exists, its scales are not stale, and the linear tail is
+// within its bound. Owners that guard the index with a reader/writer lock
+// use Ready to decide whether a lookup can run under the shared lock
+// (Walk's only mutation is the rebuild branch; everything else allocates
+// per-walk state). An empty or unknown system is trivially ready.
+func (ci *CorpusIndex) Ready(system string) bool {
+	s := ci.sys[system]
+	if s == nil || len(s.feats) == 0 {
+		return true
+	}
+	return s.idx != nil && !s.stale && len(s.feats)-s.built <= rebuildTail(s.built)
+}
+
+// Rebuild folds the system's tail into a fresh tree immediately, so
+// subsequent Walks serve read-only until enough additions accumulate again.
+// Owners call it under their exclusive lock when Ready reports false.
+func (ci *CorpusIndex) Rebuild(system string) {
+	s := ci.sys[system]
+	if s == nil || len(s.feats) == 0 {
+		return
+	}
+	s.idx = NewFeatureIndexKV(s.feats[:len(s.feats):len(s.feats)])
+	s.built = len(s.feats)
+	s.stale = false
+}
+
 // Walk yields (pos, ord) pairs in exactly the oracle's rank order for the
 // system — ord is the session's insertion ordinal within the system (the
 // index RankSessions would report), pos the caller position from Add.

@@ -65,6 +65,7 @@ func DriveProposer(ctx context.Context, name string, target Target, b Budget, p 
 		ctx = context.Background()
 	}
 	s := NewSession(ctx, target, b)
+	bindSession(p, s)
 	for !s.Exhausted() {
 		cfgs := p.Propose(s.Remaining())
 		if len(cfgs) == 0 {

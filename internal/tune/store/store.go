@@ -107,6 +107,13 @@ const (
 // into a new segment.
 const DefaultCompactEvery = 128
 
+// DefaultCompactBytes is the WAL byte size that triggers an automatic fold
+// regardless of entry count. Entry counting alone lets a WAL of few huge
+// sessions (large trial histories) grow far past any reasonable replay
+// budget before folding; the byte trigger bounds reopen cost by data
+// volume, not record arithmetic.
+const DefaultCompactBytes = 8 << 20
+
 // logEntry is one WAL line.
 type logEntry struct {
 	Op     string              `json:"op"` // "add" or "del"
@@ -137,12 +144,21 @@ type FileStore struct {
 	// right after Open, before concurrent use).
 	CompactEvery int
 
+	// CompactBytes is the WAL byte size that triggers an automatic tail
+	// fold on the next mutation, independent of CompactEvery (default
+	// DefaultCompactBytes; 0 disables the size trigger; set it right after
+	// Open, before concurrent use). Either trigger firing folds the tail.
+	CompactBytes int64
+
 	// mu guards all mutable state. Writers (Append, Delete, folds) take it
 	// exclusively; materializing readers (Sessions, Get, Summaries) share
 	// it — segment payload reads go through ReadAt on immutable files, so
 	// concurrent readers never contend on file position. Lookup methods
-	// (WarmConfigs, Nearest, RankIDs) take it exclusively because they may
-	// lazily (re)build the feature index.
+	// (WarmConfigs, Nearest, RankIDs) also share it on their fast path:
+	// when the lazy feature index is built and fresh (CorpusIndex.Ready) a
+	// walk is read-only, so concurrent lookups serve in parallel; only when
+	// the index must be (re)built does a lookup upgrade to the write lock
+	// (see lookupWalk).
 	mu        sync.RWMutex
 	wal       *os.File
 	lock      *os.File // held flock guarding the directory against other processes
@@ -153,6 +169,7 @@ type FileStore struct {
 	tailRecs  map[int64]tune.SessionRecord
 	dead      map[int64]bool // tombstoned segment-resident ids
 	walLen    int            // entries in the WAL since the last fold
+	walBytes  int64          // bytes in the WAL since the last fold
 	nextID    int64
 
 	// Lazy feature-space index over the live corpus; refs maps its walk
@@ -175,6 +192,7 @@ func Open(dir string) (*FileStore, error) {
 	s := &FileStore{
 		dir:          dir,
 		CompactEvery: DefaultCompactEvery,
+		CompactBytes: DefaultCompactBytes,
 		nextID:       1,
 		tailRecs:     map[int64]tune.SessionRecord{},
 		dead:         map[int64]bool{},
@@ -345,6 +363,7 @@ func (s *FileStore) replayWAL() error {
 			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
 		}
 	}
+	s.walBytes = int64(good)
 	return nil
 }
 
@@ -401,6 +420,7 @@ func (s *FileStore) appendEntry(e logEntry) error {
 		return fmt.Errorf("store: fsyncing WAL: %w", err)
 	}
 	s.walLen++
+	s.walBytes += int64(len(line))
 	return nil
 }
 
@@ -667,18 +687,39 @@ func (s *FileStore) nparamsLocked(ref recRef) int {
 	return int(s.segs[ref.seg].entries[ref.ent].nparams)
 }
 
+// lookupWalk runs one indexed nearest-first walk with reader concurrency.
+// Fast path: when the lazy index exists and a walk for system would not
+// rebuild it (CorpusIndex.Ready), the whole lookup — walk and payload reads
+// — serves under the shared lock, so concurrent lookups during archival run
+// in parallel instead of serializing on an exclusive lock they almost never
+// needed. Slow path: take the write lock, (re)build under it (double-checked
+// — another lookup may have rebuilt while this one waited), and serve there.
+// Whichever lock is held, it is held across visit, so closures may touch
+// refs, segment entries, and tail records freely.
+func (s *FileStore) lookupWalk(system string, features map[string]float64, visit func(pos, ord int) bool) {
+	s.mu.RLock()
+	if s.corpusOK && s.corpus.Ready(system) {
+		defer s.mu.RUnlock()
+		s.corpus.Walk(system, features, visit)
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureCorpusLocked()
+	s.corpus.Rebuild(system)
+	s.corpus.Walk(system, features, visit)
+}
+
 // WarmConfigs implements Store (and tune.WarmSource): identical results to
 // tune.WarmConfigs over the materialized repository, but the feature index
 // walks candidates nearest-first and only transferable ones load their
 // payloads. Unreadable payloads are skipped — a warm start degrades to a
 // cold start, never to an error.
 func (s *FileStore) WarmConfigs(system string, features map[string]float64, space *tune.Space, k int) []tune.Config {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureCorpusLocked()
 	names := space.Names()
 	var out []tune.Config
-	s.corpus.Walk(system, features, func(pos, _ int) bool {
+	s.lookupWalk(system, features, func(pos, _ int) bool {
 		ref := s.refs[pos]
 		if s.nparamsLocked(ref) != len(names) {
 			return true
@@ -698,12 +739,9 @@ func (s *FileStore) WarmConfigs(system string, features map[string]float64, spac
 
 // Nearest implements Store.
 func (s *FileStore) Nearest(system string, features map[string]float64) (Summary, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureCorpusLocked()
 	var sum Summary
 	found := false
-	s.corpus.Walk(system, features, func(pos, _ int) bool {
+	s.lookupWalk(system, features, func(pos, _ int) bool {
 		sum, found = s.summaryLocked(s.refs[pos]), true
 		return false
 	})
@@ -714,11 +752,8 @@ func (s *FileStore) Nearest(system string, features map[string]float64) (Summary
 // nearest-first order (every one of them when limit <= 0) — the indexed
 // equivalent of tune.RankSessions over the materialized corpus.
 func (s *FileStore) RankIDs(system string, features map[string]float64, limit int) []int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ensureCorpusLocked()
 	var out []int64
-	s.corpus.Walk(system, features, func(pos, _ int) bool {
+	s.lookupWalk(system, features, func(pos, _ int) bool {
 		out = append(out, s.refs[pos].id)
 		return limit <= 0 || len(out) < limit
 	})
@@ -726,11 +761,14 @@ func (s *FileStore) RankIDs(system string, features map[string]float64, limit in
 }
 
 // maybeCompactLocked folds the tail when the WAL has grown past
-// CompactEvery. Fold failure is not an error for the triggering mutation —
-// the mutation itself is already durable in the log; the oversized WAL will
-// be retried on the next mutation and folded at the latest on reopen.
+// CompactEvery entries or CompactBytes bytes — whichever fires first. Fold
+// failure is not an error for the triggering mutation — the mutation itself
+// is already durable in the log; the oversized WAL will be retried on the
+// next mutation and folded at the latest on reopen.
 func (s *FileStore) maybeCompactLocked() {
-	if s.CompactEvery > 0 && s.walLen >= s.CompactEvery {
+	byCount := s.CompactEvery > 0 && s.walLen >= s.CompactEvery
+	bySize := s.CompactBytes > 0 && s.walBytes >= s.CompactBytes
+	if byCount || bySize {
 		_ = s.foldTailLocked()
 	}
 }
@@ -782,8 +820,9 @@ func (s *FileStore) foldTailLocked() error {
 		return fmt.Errorf("store: truncating WAL after fold: %w", err)
 	}
 	// O_APPEND writes continue at the (now zero) end of file; reset our
-	// entry count so auto-folding re-arms.
+	// entry and byte counts so auto-folding re-arms.
 	s.walLen = 0
+	s.walBytes = 0
 	// The fold preserved the live order, so a valid index stays valid —
 	// only its record references moved from the tail into the new segment.
 	if s.corpusOK {
@@ -873,6 +912,7 @@ func (s *FileStore) Compact() error {
 		return fmt.Errorf("store: truncating WAL after compaction: %w", err)
 	}
 	s.walLen = 0
+	s.walBytes = 0
 	if s.corpusOK {
 		s.rebuildRefsLocked()
 	}

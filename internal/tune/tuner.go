@@ -32,6 +32,14 @@ type TuningResult struct {
 	BestResult  Result  `json:"best_result"`
 	Trials      []Trial `json:"trials,omitempty"`
 	SimTimeUsed float64 `json:"sim_time_used,omitempty"`
+	// Front is the latency-vs-cost Pareto front over the session's trials,
+	// populated only when the session opted into Scenario.Pareto.
+	Front []Trial `json:"pareto_front,omitempty"`
+	// GuardrailViolations counts full-fidelity results whose objective
+	// breached Scenario.Guardrail (zero when no guardrail was set).
+	GuardrailViolations int `json:"guardrail_violations,omitempty"`
+	// DriftDetections counts the session's re-anchors (see Session.ReAnchor).
+	DriftDetections int `json:"drift_detections,omitempty"`
 }
 
 // Curve returns the best objective seen after each trial — the "tuning
@@ -96,6 +104,12 @@ type Session struct {
 	best    Config
 	bestRes Result
 	hasBest bool
+
+	// Scenario bookkeeping (see Scenario; all zero for plain sessions).
+	scenario   Scenario
+	front      []Trial // non-dominated (Objective, Cost) trials, Pareto only
+	violations int     // guardrail breaches observed
+	drifts     int     // ReAnchor count
 }
 
 // NewSession starts a session for target under budget. ctx may be nil. When
@@ -105,7 +119,7 @@ func NewSession(ctx context.Context, target Target, budget Budget) *Session {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Session{target: target, budget: budget, ctx: ctx, mon: MonitorFrom(ctx)}
+	return &Session{target: target, budget: budget, ctx: ctx, mon: MonitorFrom(ctx), scenario: ScenarioFrom(ctx)}
 }
 
 // Remaining returns how many trials the budget still admits.
@@ -176,6 +190,18 @@ func (s *Session) recordLocked(cfg Config, res Result) Trial {
 	if res.FullFidelity() && (!s.hasBest || res.Objective() < s.bestRes.Objective()) {
 		s.best, s.bestRes, s.hasBest = cfg, res, true
 		s.emitLocked(Event{Kind: IncumbentImproved, Trial: t.N, Config: cfg, Result: res})
+	}
+	// Scenario bookkeeping runs under the same lock, in the same trial
+	// order, so its events stay byte-identical at any worker count.
+	if s.scenario.Guardrail > 0 && res.FullFidelity() && res.Objective() > s.scenario.Guardrail {
+		s.violations++
+		s.emitLocked(Event{Kind: GuardrailViolation, Trial: t.N, Config: cfg, Result: res, Limit: s.scenario.Guardrail})
+	}
+	if s.scenario.Pareto && res.FullFidelity() && !res.Failed {
+		var joined bool
+		if s.front, joined = insertFront(s.front, t); joined {
+			s.emitLocked(Event{Kind: ParetoIncumbent, Trial: t.N, Config: cfg, Result: res, SimTimeUsed: s.simUsed})
+		}
 	}
 	return t
 }
@@ -250,6 +276,22 @@ func (s *Session) Prune(ns ...int) {
 	}
 }
 
+// ReAnchor discards the session's incumbent and emits DriftDetected: the
+// caller (a drift detector observing on the driver goroutine) concluded the
+// workload shifted, so the incumbent's recorded result no longer measures
+// the live workload and must not outrank post-shift trials. Recorded trials,
+// sim-time accounting, and the budget are untouched; the next full-fidelity
+// result after the re-anchor becomes the new incumbent unconditionally.
+// Called between trials on the driver goroutine, so the event's position in
+// the stream is deterministic at any worker count.
+func (s *Session) ReAnchor() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.best, s.bestRes, s.hasBest = Config{}, Result{}, false
+	s.drifts++
+	s.emitLocked(Event{Kind: DriftDetected, Trial: len(s.trials)})
+}
+
 // emitLocked forwards an event to the attached monitor, if any. The session
 // lock is held, which is what serializes the stream into trial order.
 func (s *Session) emitLocked(ev Event) {
@@ -310,10 +352,13 @@ func (s *Session) Finish(tuner string, recommended Config) *TuningResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := &TuningResult{
-		Tuner:       tuner,
-		Target:      s.target.Name(),
-		Trials:      s.trials,
-		SimTimeUsed: s.simUsed,
+		Tuner:               tuner,
+		Target:              s.target.Name(),
+		Trials:              s.trials,
+		SimTimeUsed:         s.simUsed,
+		Front:               s.front,
+		GuardrailViolations: s.violations,
+		DriftDetections:     s.drifts,
 	}
 	if s.hasBest {
 		res.Best, res.BestResult = s.best, s.bestRes

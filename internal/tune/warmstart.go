@@ -174,6 +174,15 @@ func (w *WarmStarter) Propose(n int) []Config {
 // Observe implements Proposer.
 func (w *WarmStarter) Observe(t Trial) { w.inner.Observe(t) }
 
+// BindSession forwards the session handle to a session-aware inner proposer
+// (see SessionAware) — warm starting must not hide a drift detector from
+// its driver.
+func (w *WarmStarter) BindSession(s *Session) {
+	if sa, ok := w.inner.(SessionAware); ok {
+		sa.BindSession(s)
+	}
+}
+
 // Recommend implements Recommender when the inner proposer does; otherwise
 // it returns the invalid zero Config.
 func (w *WarmStarter) Recommend() Config {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sysmodel/mapreduce"
 	"repro/internal/sysmodel/paralleldb"
 	"repro/internal/sysmodel/spark"
+	"repro/internal/tune"
 	"repro/internal/tuners/adaptive"
 	"repro/internal/tuners/costmodel"
 	"repro/internal/tuners/experiment"
@@ -256,6 +257,8 @@ func buildDBMS(wl string, seed int64, o TargetOptions) (Target, error) {
 		w = workload.OLTP(64, scaleOr(o, 4))
 	case "mixed":
 		w = workload.MixedDB(scaleOr(o, 6))
+	case "oltp-olap-shift", "diurnal":
+		return buildDBMSDrift(wl, seed, o)
 	default:
 		return nil, fmt.Errorf("repro: unknown dbms workload %q (have %s)", wl, strings.Join(Workloads("dbms"), ", "))
 	}
@@ -264,6 +267,39 @@ func buildDBMS(wl string, seed int64, o TargetOptions) (Target, error) {
 		d.Tenant = buildCluster(o)
 	}
 	return d, nil
+}
+
+// buildDBMSDrift builds the time-varying DBMS workloads: every phase is an
+// ordinary stationary dbms target (sharing one configuration space, since
+// the system is the same) and the workload.Drift wrapper schedules trials
+// across them by global run index.
+//
+//   - "oltp-olap-shift": 15 runs of OLTP traffic, then analytics forever —
+//     a one-way workload change mid-session.
+//   - "diurnal": alternating 8-run low-load and 8-run high-load OLTP
+//     phases, repeating — cyclic load rather than a one-way shift.
+func buildDBMSDrift(wl string, seed int64, o TargetOptions) (Target, error) {
+	node := cluster.CommodityNode()
+	mk := func(w *workload.DBWorkload) tune.ConcurrentTarget {
+		d := dbms.New(node, w, seed)
+		if o.TenantLoad > 0 {
+			d.Tenant = buildCluster(o)
+		}
+		return d
+	}
+	switch wl {
+	case "oltp-olap-shift":
+		return workload.NewDrift(wl, false,
+			workload.Phase{Name: "oltp", Target: mk(workload.OLTP(64, scaleOr(o, 4))), Runs: 15},
+			workload.Phase{Name: "olap", Target: mk(workload.TPCHLike(scaleOr(o, 10))), Runs: 15},
+		)
+	case "diurnal":
+		return workload.NewDrift(wl, true,
+			workload.Phase{Name: "night", Target: mk(workload.OLTP(16, scaleOr(o, 4))), Runs: 8},
+			workload.Phase{Name: "day", Target: mk(workload.OLTP(192, scaleOr(o, 4))), Runs: 8},
+		)
+	}
+	return nil, fmt.Errorf("repro: unknown dbms drift workload %q", wl)
 }
 
 func mrJob(system, wl string, gb float64) (*workload.MRJob, error) {
@@ -406,7 +442,7 @@ func init() {
 		}
 	}
 	mustNil(RegisterTarget("dbms", TargetFactory{
-		Workloads: []string{"tpch", "oltp", "mixed"},
+		Workloads: []string{"tpch", "oltp", "mixed", "oltp-olap-shift", "diurnal"},
 		New:       buildDBMS,
 	}))
 	mustNil(RegisterTarget("hadoop", TargetFactory{

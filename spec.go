@@ -65,6 +65,27 @@ type Spec struct {
 	// early-stopped trials). It requires an ask/tell tuner and a target
 	// with a fidelity-aware evaluation path.
 	Fidelity *FidelitySpec `json:"fidelity,omitempty"`
+	// Pareto opts the session into multi-objective latency-vs-cost tuning:
+	// the tuner is fanned across scalarization weights (one differently
+	// seeded sub-search per weight, see tune.MultiObjectiveTuner) and the
+	// session tracks the Pareto front over full-fidelity trials, emitting a
+	// ParetoIncumbent event whenever a trial joins it. Requires an ask/tell
+	// tuner; incompatible with Fidelity.
+	Pareto bool `json:"pareto,omitempty"`
+	// Guardrail, when > 0, is the session's objective guardrail: the tuner
+	// is wrapped in a surrogate safety screen (tune.GuardrailTuner) that
+	// vetoes configurations predicted to exceed it, and every trial that
+	// exceeds it anyway is counted and emitted as a GuardrailViolation
+	// event. Requires an ask/tell tuner; incompatible with Fidelity.
+	Guardrail float64 `json:"guardrail,omitempty"`
+	// DriftDetect arms workload-drift detection (tune.DriftDetectTuner):
+	// when the observed objective stream regresses persistently against the
+	// incumbent, the session re-anchors — discards the stale incumbent,
+	// emits DriftDetected, and restarts the proposer stack (including any
+	// warm-start seeding) fresh against the shifted workload. Requires an
+	// ask/tell tuner; incompatible with Fidelity. Pair with a drifting
+	// workload (e.g. dbms "oltp-olap-shift" or "diurnal").
+	DriftDetect bool `json:"drift_detect,omitempty"`
 	// Surrogate selects the GP surrogate tier for the model-based tuners
 	// (ituned, ottertune) and the trial-count thresholds at which a session
 	// switches exact → sparse → RFF. nil means auto with default
@@ -182,6 +203,16 @@ func (s Spec) Validate() error {
 			return err
 		}
 	}
+	if s.Guardrail < 0 {
+		return fmt.Errorf("repro: guardrail must be ≥ 0 (0 = off), got %v", s.Guardrail)
+	}
+	// The scenario wrappers reshape the proposal stream per observation;
+	// a fidelity schedule reshapes it per rung. Composing them would make
+	// rung promotion decisions depend on scalarized or screened objectives
+	// — silently different semantics — so the combination is rejected.
+	if s.Fidelity != nil && (s.Pareto || s.Guardrail > 0 || s.DriftDetect) {
+		return fmt.Errorf("repro: pareto, guardrail, and drift_detect are incompatible with a fidelity schedule")
+	}
 	if err := s.Surrogate.Validate(); err != nil {
 		return err
 	}
@@ -241,6 +272,49 @@ func (s Spec) JobWithWarm(repo *Repository, warm tune.WarmSource, archive func(S
 	if err != nil {
 		return Job{}, err
 	}
+	// Scenario wrapper order, inside out: base tuner → pareto fan-out →
+	// guardrail screen → warm-start seeding → drift detection. The guardrail
+	// screens everything the sweep proposes; warm seeds flow through the
+	// screen as evidence; the drift detector sits outermost so a re-anchor
+	// rebuilds the whole stack (screen, seeds, and all) fresh.
+	if s.Pareto {
+		bt, ok := tuner.(tune.BatchTuner)
+		if !ok {
+			return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot run multi-objective", s.Tuner)
+		}
+		subs := []tune.BatchTuner{bt}
+		for i := 1; i < len(tune.DefaultParetoWeights); i++ {
+			// Each scalarization weight gets its own differently seeded
+			// sub-search so the design phases explore distinct points.
+			sopt := topt
+			sopt.Seed = s.Seed + int64(i)
+			sub, err := NewTuner(s.Tuner, sopt)
+			if err != nil {
+				return Job{}, err
+			}
+			sbt, ok := sub.(tune.BatchTuner)
+			if !ok {
+				return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot run multi-objective", s.Tuner)
+			}
+			subs = append(subs, sbt)
+		}
+		mo, err := tune.MultiObjectiveTuner(subs, tune.DefaultParetoWeights)
+		if err != nil {
+			return Job{}, err
+		}
+		tuner = mo
+	}
+	if s.Guardrail > 0 {
+		bt, ok := tuner.(tune.BatchTuner)
+		if !ok {
+			return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot run a guardrail screen", s.Tuner)
+		}
+		gt, err := tune.GuardrailTuner(bt, tune.GuardrailOptions{Limit: s.Guardrail})
+		if err != nil {
+			return Job{}, err
+		}
+		tuner = gt
+	}
 	if s.WarmStart {
 		bt, ok := tuner.(tune.BatchTuner)
 		if !ok {
@@ -271,17 +345,26 @@ func (s Spec) JobWithWarm(repo *Repository, warm tune.WarmSource, archive func(S
 		}
 		tuner = mf
 	}
+	if s.DriftDetect {
+		bt, ok := tuner.(tune.BatchTuner)
+		if !ok {
+			return Job{}, fmt.Errorf("repro: tuner %q has no ask/tell form and cannot run drift detection", s.Tuner)
+		}
+		tuner = tune.DriftDetectTuner(bt, tune.DriftOptions{})
+	}
 	return Job{
-		Name:     s.Name(),
-		Tuner:    tuner,
-		Target:   target,
-		Budget:   s.Budget,
-		Parallel: s.Parallel,
-		Memo:     s.Memo,
-		MemoCap:  s.MemoCap,
-		System:   s.System,
-		Workload: s.Workload,
-		Archive:  archive,
+		Name:      s.Name(),
+		Tuner:     tuner,
+		Target:    target,
+		Budget:    s.Budget,
+		Parallel:  s.Parallel,
+		Memo:      s.Memo,
+		MemoCap:   s.MemoCap,
+		System:    s.System,
+		Workload:  s.Workload,
+		Archive:   archive,
+		Pareto:    s.Pareto,
+		Guardrail: s.Guardrail,
 	}, nil
 }
 

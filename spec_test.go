@@ -205,6 +205,89 @@ func TestStartEventStreamDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// TestScenarioEventStreamsDeterministicAcrossParallel extends the stream
+// determinism guarantee to the scenario classes: for drift detection,
+// Pareto tracking, and guardrail screening, the observation-ordered event
+// stream (TrialDone plus every scenario event) is byte-identical at
+// parallel 1 and parallel 4. This is the property that makes scenario
+// sessions replayable and their /events streams safe to diff across
+// deployments.
+func TestScenarioEventStreamsDeterministicAcrossParallel(t *testing.T) {
+	specs := map[string]Spec{
+		"drift": {
+			System: "dbms", Workload: "oltp-olap-shift", Tuner: "ituned",
+			Seed: 11, Budget: Budget{Trials: 24},
+			Target:      TargetOptions{ScaleGB: 2},
+			DriftDetect: true,
+		},
+		"pareto": {
+			System: "dbms", Workload: "tpch", Tuner: "ituned",
+			Seed: 11, Budget: Budget{Trials: 20},
+			Target: TargetOptions{ScaleGB: 2},
+			Pareto: true,
+		},
+		"guardrail": {
+			System: "dbms", Workload: "tpch", Tuner: "ituned",
+			Seed: 11, Budget: Budget{Trials: 16},
+			Target: TargetOptions{ScaleGB: 2},
+			// Tight enough that the screen's unscreened cold start violates
+			// (the golden needs scenario events to compare), loose enough
+			// that safe anchors exist for the screen to work from.
+			Guardrail: 100,
+		},
+	}
+	ordered := map[EventKind]bool{
+		TrialDone:               true,
+		tune.ParetoIncumbent:    true,
+		tune.GuardrailViolation: true,
+		tune.DriftDetected:      true,
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			stream := func(parallel int) [][]byte {
+				s := spec
+				s.Parallel = parallel
+				run, err := Start(context.Background(), s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var evs [][]byte
+				scenarioSeen := false
+				for ev := range run.Events() {
+					if !ordered[ev.Kind] {
+						continue
+					}
+					if ev.Kind != TrialDone {
+						scenarioSeen = true
+					}
+					data, err := json.Marshal(ev)
+					if err != nil {
+						t.Fatal(err)
+					}
+					evs = append(evs, data)
+				}
+				if _, err := run.Wait(nil); err != nil {
+					t.Fatal(err)
+				}
+				if !scenarioSeen {
+					t.Fatalf("%s session emitted no scenario events — the golden would be vacuous", name)
+				}
+				return evs
+			}
+			seq := stream(1)
+			par := stream(4)
+			if len(seq) == 0 || len(seq) != len(par) {
+				t.Fatalf("event counts: %d vs %d", len(seq), len(par))
+			}
+			for i := range seq {
+				if !bytes.Equal(seq[i], par[i]) {
+					t.Fatalf("event %d differs:\n  parallel 1: %s\n  parallel 4: %s", i, seq[i], par[i])
+				}
+			}
+		})
+	}
+}
+
 // —— registry plug-ins ————————————————————————————————————————————————————
 
 // flatTarget is a minimal external system: quadratic bowl around a=0.7.
